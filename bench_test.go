@@ -1,0 +1,220 @@
+package herosign
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§IV). Each benchmark runs the corresponding
+// experiment generator and reports the headline modeled metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the full
+// evaluation. The wall-clock ns/op measures the harness itself (simulator
+// cost), not GPU time — modeled GPU quantities are the custom metrics.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"herosign/internal/bench"
+	"herosign/internal/core"
+	"herosign/internal/cpuref"
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+func benchSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	s := bench.NewSuite(device.RTX4090)
+	s.Sample = 2
+	return s
+}
+
+func runExperiment(b *testing.B, id string) *bench.Table {
+	b.Helper()
+	s := benchSuite(b)
+	var t *bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = s.RunByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+// cell parses a float from table row r, column c.
+func cell(b *testing.B, t *bench.Table, r, c int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(t.Rows[r][c], "x"), 64)
+	if err != nil {
+		b.Fatalf("cell(%d,%d)=%q: %v", r, c, t.Rows[r][c], err)
+	}
+	return v
+}
+
+func BenchmarkTable2_BaselineBreakdown(b *testing.B) {
+	t := runExperiment(b, "table2")
+	// Row 0 = 128f: FORS, Idle, MSS, WOTS in ms.
+	b.ReportMetric(cell(b, t, 0, 1), "model-ms-FORS-128f")
+	b.ReportMetric(cell(b, t, 0, 3), "model-ms-MSS-128f")
+	b.ReportMetric(cell(b, t, 0, 4), "model-ms-WOTS-128f")
+}
+
+func BenchmarkTable3_BaselineProfile(b *testing.B) {
+	t := runExperiment(b, "table3")
+	b.ReportMetric(cell(b, t, 0, 1), "warp-occ-FORS-pct")
+	b.ReportMetric(cell(b, t, 1, 2), "theo-occ-TREE-pct")
+}
+
+func BenchmarkTable4_TreeTuning(b *testing.B) {
+	t := runExperiment(b, "table4")
+	b.ReportMetric(cell(b, t, 0, 3), "F-128f")
+	b.ReportMetric(cell(b, t, 0, 1), "shared-util-128f")
+}
+
+func BenchmarkTable5_PTXSelection(b *testing.B) {
+	t := runExperiment(b, "table5")
+	ptxCount := 0.0
+	for _, row := range t.Rows {
+		for _, c := range row[1:4] {
+			if c == "ok" {
+				ptxCount++
+			}
+		}
+	}
+	b.ReportMetric(ptxCount, "ptx-selections") // paper: 5 of 9
+}
+
+func BenchmarkTable6_BankConflicts(b *testing.B) {
+	t := runExperiment(b, "table6")
+	b.ReportMetric(cell(b, t, 0, 2), "base-load-conflicts-128f-FORS")
+	b.ReportMetric(cell(b, t, 0, 4), "padded-load-conflicts-128f-FORS")
+}
+
+func BenchmarkTable8_Kernels(b *testing.B) {
+	t := runExperiment(b, "table8")
+	// Rows are (set x kernel); speedup is column 4.
+	for i, label := range []string{"FORS-128f", "TREE-128f", "WOTS-128f"} {
+		b.ReportMetric(cell(b, t, i, 4), "speedup-"+label)
+	}
+}
+
+func BenchmarkTable9_CrossPlatform(b *testing.B) {
+	t := runExperiment(b, "table9")
+	b.ReportMetric(cell(b, t, 0, 1), "hero-kops-128f")
+}
+
+func BenchmarkTable10_CPU(b *testing.B) {
+	t := runExperiment(b, "table10")
+	b.ReportMetric(cell(b, t, 0, 3), "go-cpu-kops-128f")
+	b.ReportMetric(cell(b, t, 0, 5), "hero-vs-avx2-16t")
+}
+
+func BenchmarkTable11_CompileTime(b *testing.B) {
+	t := runExperiment(b, "table11")
+	b.ReportMetric(cell(b, t, 0, 3), "compile-speedup-128f")
+}
+
+func BenchmarkFig11_FORSSteps(b *testing.B) {
+	t := runExperiment(b, "fig11")
+	// Final row of each set carries the cumulative speedup in column 4.
+	b.ReportMetric(cell(b, t, 5, 4), "cumulative-128f")
+	b.ReportMetric(cell(b, t, 11, 4), "cumulative-192f")
+	b.ReportMetric(cell(b, t, 17, 4), "cumulative-256f")
+}
+
+func BenchmarkFig12_EndToEnd(b *testing.B) {
+	t := runExperiment(b, "fig12")
+	// Rows: 4 configs per set; KOPS column 2, launch overhead column 3.
+	base128 := cell(b, t, 0, 2)
+	hero128 := cell(b, t, 3, 2)
+	b.ReportMetric(hero128, "hero-kops-128f")
+	b.ReportMetric(hero128/base128, "speedup-128f")
+	b.ReportMetric(cell(b, t, 0, 3)/cell(b, t, 3, 3), "launch-reduction-128f")
+}
+
+func BenchmarkFig13_BlockSizeSweep(b *testing.B) {
+	s := benchSuite(b)
+	if testing.Short() {
+		b.Skip("sweep skipped in -short")
+	}
+	var t *bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = s.RunByID("fig13")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// First row: 128f, block size 2 (the paper reports ~3.1x there).
+	b.ReportMetric(cell(b, t, 0, 4), "speedup-128f-bs2")
+	b.ReportMetric(cell(b, t, 9, 4), "speedup-128f-bs1024")
+}
+
+func BenchmarkFig14_CrossArch(b *testing.B) {
+	if testing.Short() {
+		b.Skip("cross-architecture sweep skipped in -short")
+	}
+	t := runExperiment(b, "fig14")
+	// Rows: 6 devices x 3 sets; speedup in column 4.
+	for i, dev := range []string{"GTX1070", "V100", "RTX2080Ti", "A100", "RTX4090", "H100"} {
+		b.ReportMetric(cell(b, t, i*3, 4), "speedup-128f-"+dev)
+	}
+}
+
+// BenchmarkGPUSimSign measures the harness cost of fully-functional batch
+// signing on the simulated RTX 4090 (all blocks executed).
+func BenchmarkGPUSimSign128f(b *testing.B) {
+	p := params.SPHINCSPlus128f
+	sk := benchKey(b, p)
+	signer, err := core.New(core.Config{
+		Params: p, Device: device.RTX4090, Features: core.AllFeatures(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := [][]byte{[]byte("bench message")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := signer.SignBatch(sk, msgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sigs[0]) != p.SigBytes {
+			b.Fatal("bad signature size")
+		}
+	}
+}
+
+// BenchmarkCPUParallelSign measures the real multi-goroutine CPU signer
+// (the Table X comparator) on this machine.
+func BenchmarkCPUParallelSign128f(b *testing.B) {
+	p := params.SPHINCSPlus128f
+	sk := benchKey(b, p)
+	msgs := make([][]byte, 16)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i)}
+	}
+	b.ResetTimer()
+	var kops float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := cpuref.SignBatch(sk, msgs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kops = res.KOPS
+	}
+	b.ReportMetric(kops, "measured-kops")
+}
+
+func benchKey(b *testing.B, p *params.Params) *spx.PrivateKey {
+	b.Helper()
+	seed := make([]byte, p.N)
+	for i := range seed {
+		seed[i] = byte(i + 7)
+	}
+	sk, err := spx.KeyFromSeeds(p, seed, seed, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}

@@ -1,0 +1,73 @@
+// Command herosign-bench regenerates the HERO-Sign evaluation: every table
+// and figure of the paper's §IV, modeled on the simulated GPU catalog.
+//
+// Usage:
+//
+//	herosign-bench [-gpu "RTX 4090"] [-batch 1024] [-sample 2] [-exp all|id,id,...]
+//	herosign-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"herosign/internal/bench"
+	"herosign/internal/gpu/device"
+)
+
+func main() {
+	gpuName := flag.String("gpu", "RTX 4090", "simulated GPU (name or architecture)")
+	batch := flag.Int("batch", 1024, "batch size (paper Block = 1024)")
+	sample := flag.Int("sample", 2, "functionally executed blocks per launch (counters scale)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	format := flag.String("format", "text", "output format: text or csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	dev, err := device.ByName(*gpuName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	suite := bench.NewSuite(dev)
+	suite.Batch = *batch
+	suite.Sample = *sample
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	if *format == "text" {
+		fmt.Printf("herosign-bench: device=%s batch=%d sample=%d\n\n", dev, *batch, *sample)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := suite.RunByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			t.RenderCSV(os.Stdout)
+		default:
+			t.Render(os.Stdout)
+			fmt.Printf("(%s generated in %v)\n\n", t.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command herosign is a SPHINCS+ key generation, signing and verification
+// tool built on the library's public API. Signing can run on the CPU
+// reference path or on a simulated GPU with the full HERO-Sign
+// optimization stack (the two produce identical signatures).
+//
+// Usage:
+//
+//	herosign keygen -set 128f -out keyfile
+//	herosign sign   -set 128f -key keyfile -in message -out sigfile [-gpu "RTX 4090"]
+//	herosign verify -set 128f -key keyfile.pub -in message -sig sigfile
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"herosign"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	set := fs.String("set", "128f", "parameter set (128s/128f/192s/192f/256s/256f)")
+	keyPath := fs.String("key", "", "key file (hex)")
+	inPath := fs.String("in", "", "message file")
+	outPath := fs.String("out", "", "output file")
+	sigPath := fs.String("sig", "", "signature file (hex)")
+	gpuName := fs.String("gpu", "", "sign on a simulated GPU (e.g. \"RTX 4090\"); empty = CPU")
+	fs.Parse(os.Args[2:])
+
+	p, err := herosign.ParamsByName(*set)
+	check(err)
+
+	switch cmd {
+	case "keygen":
+		sk, err := herosign.GenerateKey(p)
+		check(err)
+		out := *outPath
+		if out == "" {
+			out = "herosign.key"
+		}
+		check(writeHex(out, sk.Bytes(), 0o600))
+		check(writeHex(out+".pub", sk.PublicKey.Bytes(), 0o644))
+		fmt.Printf("%s: wrote %s (%d bytes) and %s.pub (%d bytes)\n",
+			p.Name, out, p.SKBytes, out, p.PKBytes)
+
+	case "sign":
+		skBytes := readHex(*keyPath)
+		sk, err := herosign.ParsePrivateKey(p, skBytes)
+		check(err)
+		msg, err := os.ReadFile(*inPath)
+		check(err)
+		var sig []byte
+		if *gpuName == "" {
+			sig, err = herosign.Sign(sk, msg)
+			check(err)
+		} else {
+			gpu, err := herosign.GPUByName(*gpuName)
+			check(err)
+			acc, err := herosign.NewAccelerator(p, gpu)
+			check(err)
+			res, err := acc.SignBatch(sk, [][]byte{msg})
+			check(err)
+			sig = res.Sigs[0]
+			fmt.Printf("simulated %s: %.2f KOPS modeled batch throughput\n",
+				gpu.Name, res.ThroughputKOPS)
+		}
+		out := *outPath
+		if out == "" {
+			out = *inPath + ".sig"
+		}
+		check(writeHex(out, sig, 0o644))
+		fmt.Printf("%s: signed %d-byte message, %d-byte signature -> %s\n",
+			p.Name, len(msg), len(sig), out)
+
+	case "verify":
+		pk, err := herosign.ParsePublicKey(p, readHex(*keyPath))
+		check(err)
+		msg, err := os.ReadFile(*inPath)
+		check(err)
+		sig := readHex(*sigPath)
+		if err := herosign.Verify(pk, msg, sig); err != nil {
+			fmt.Fprintln(os.Stderr, "verification FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("signature OK")
+
+	default:
+		usage()
+	}
+}
+
+func writeHex(path string, b []byte, mode os.FileMode) error {
+	return os.WriteFile(path, []byte(hex.EncodeToString(b)+"\n"), mode)
+}
+
+func readHex(path string) []byte {
+	raw, err := os.ReadFile(path)
+	check(err)
+	s := string(raw)
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	b, err := hex.DecodeString(s)
+	check(err)
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "herosign:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  herosign keygen -set 128f [-out keyfile]
+  herosign sign   -set 128f -key keyfile -in message [-out sigfile] [-gpu "RTX 4090"]
+  herosign verify -set 128f -key keyfile.pub -in message -sig sigfile`)
+	os.Exit(2)
+}

@@ -1,0 +1,58 @@
+// Command tree-tune runs HERO-Sign's offline Auto Tree Tuning search
+// (paper Algorithm 1) for a parameter set on a simulated GPU and prints the
+// chosen configuration plus the ranked candidate set — the artifact the
+// paper's Table IV summarizes.
+//
+// Usage:
+//
+//	tree-tune [-set 128f] [-gpu "RTX 4090"] [-alpha 0.6] [-candidates 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"herosign/internal/core/tuner"
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx/params"
+)
+
+func main() {
+	set := flag.String("set", "128f", "parameter set")
+	gpuName := flag.String("gpu", "RTX 4090", "simulated GPU")
+	alpha := flag.Float64("alpha", 0, "thread-utilization floor (0 = default)")
+	nCand := flag.Int("candidates", 10, "candidates to print")
+	flag.Parse()
+
+	p, err := params.ByName(*set)
+	check(err)
+	dev, err := device.ByName(*gpuName)
+	check(err)
+
+	r, err := tuner.Tune(p, dev, tuner.Options{Alpha: *alpha})
+	check(err)
+
+	fmt.Printf("Auto Tree Tuning: %s on %s\n", p.Name, dev)
+	fmt.Printf("  FORS geometry: k=%d trees, t=%d leaves, n=%d bytes\n", p.K, p.T, p.N)
+	fmt.Printf("  selected: %s\n", r)
+	fmt.Printf("  shared memory: %d B per Set, %d B fused (dynamic=%t), %d pass(es)\n",
+		r.SharedBytesPerSet, r.SharedBytesTotal, r.DynamicShared, r.Passes)
+	fmt.Println()
+	fmt.Printf("%-6s %-7s %-3s %-8s %-8s %-6s\n", "T_set", "N_tree", "F", "U_T", "U_S", "sync")
+	for i, c := range r.Candidates {
+		if i >= *nCand {
+			fmt.Printf("... %d more candidates\n", len(r.Candidates)-i)
+			break
+		}
+		fmt.Printf("%-6d %-7d %-3d %-8.4f %-8.4f %-6.1f\n",
+			c.ThreadsPerSet, c.TreesPerSet, c.F, c.ThreadUtil, c.SharedUtil, c.SyncScore)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tree-tune:", err)
+		os.Exit(1)
+	}
+}

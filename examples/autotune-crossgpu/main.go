@@ -1,0 +1,58 @@
+// Cross-GPU auto-tuning: the paper's §IV-F extends HERO-Sign to six GPU
+// architectures by re-running the offline Tree Tuning search per platform.
+//
+// This example runs Algorithm 1 for every -f parameter set on every device
+// in the catalog, prints the selected fusion configuration, and measures the
+// modeled HERO-vs-baseline speedup on each platform — the content of the
+// paper's Figure 14 as a living program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"herosign"
+)
+
+func main() {
+	sk128, err := herosign.GenerateKey(herosign.SPHINCSPlus128f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Tree Tuning across the device catalog:")
+	for _, gpu := range herosign.GPUs() {
+		for _, p := range []*herosign.Params{
+			herosign.SPHINCSPlus128f, herosign.SPHINCSPlus192f, herosign.SPHINCSPlus256f,
+		} {
+			r, err := herosign.Tune(p, gpu)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s %-14s %s\n", gpu.Name, p.Name, r)
+		}
+	}
+
+	fmt.Println("\nModeled HERO-Sign speedup over baseline (SPHINCS+-128f, batch 256):")
+	for _, gpu := range herosign.GPUs() {
+		hero, err := herosign.NewAccelerator(herosign.SPHINCSPlus128f, gpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := herosign.NewBaseline(herosign.SPHINCSPlus128f, gpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := hero.MeasureBatch(sk128, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := base.MeasureBatch(sk128, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s baseline %7.2f KOPS   hero %7.2f KOPS   speedup %.2fx\n",
+			gpu.Name, b.ThroughputKOPS, h.ThroughputKOPS,
+			h.ThroughputKOPS/b.ThroughputKOPS)
+	}
+}

@@ -1,0 +1,83 @@
+// IoT firmware signing: hash-based signatures are a natural fit for
+// long-lived embedded deployments because their security rests only on the
+// hash function. This example signs a firmware image manifest with
+// SPHINCS+-256f (the conservative level-5 set), distributes the public key
+// to a simulated fleet of constrained verifiers, and demonstrates rollback
+// rejection — a stale manifest signed under a retired key fails.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"herosign"
+)
+
+type manifest struct {
+	version string
+	image   []byte
+}
+
+func (m manifest) encode() []byte {
+	return append([]byte("fw-manifest:"+m.version+":"), m.image...)
+}
+
+func main() {
+	p := herosign.SPHINCSPlus256f
+
+	// Vendor side: current signing key and a retired one.
+	current, err := herosign.GenerateKey(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	retired, err := herosign.GenerateKey(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := make([]byte, 4096)
+	for i := range img {
+		img[i] = byte(i * 31)
+	}
+	release := manifest{version: "2.4.1", image: img}
+
+	// Sign the release on the build farm's simulated GPU: 256f triggers the
+	// Relax-FORS model automatically.
+	gpu, err := herosign.GPUByName("A100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := herosign.NewAccelerator(p, gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := acc.SignBatch(current, [][]byte{release.encode()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := res.Sigs[0]
+	fmt.Printf("signed firmware %s with %s on simulated %s (sig %d bytes)\n",
+		release.version, p.Name, gpu.Name, len(sig))
+	if t := acc.Tuning(); t != nil {
+		fmt.Printf("  FORS tuning: %s\n", t)
+	}
+
+	// Device side: verify with the distributed public key (pure CPU path —
+	// verification is cheap and runs on the constrained device).
+	if err := herosign.Verify(&current.PublicKey, release.encode(), sig); err != nil {
+		log.Fatal("fleet verification failed: ", err)
+	}
+	fmt.Println("fleet verifier: firmware signature OK, applying update")
+
+	// Rollback attempt: an old manifest signed under the retired key must
+	// not verify against the current public key.
+	stale := manifest{version: "1.0.9", image: img}
+	staleSig, err := herosign.Sign(retired, stale.encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := herosign.Verify(&current.PublicKey, stale.encode(), staleSig); err == nil {
+		log.Fatal("rollback manifest verified — key separation broken")
+	}
+	fmt.Println("fleet verifier: rollback manifest rejected (wrong key), as expected")
+}

@@ -1,0 +1,59 @@
+// Quickstart: generate a SPHINCS+-128f key pair, sign a message on the CPU
+// reference path and on a simulated RTX 4090 with the full HERO-Sign
+// optimization stack, confirm both signatures are identical, and verify.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"herosign"
+)
+
+func main() {
+	p := herosign.SPHINCSPlus128f
+
+	sk, err := herosign.GenerateKey(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s key pair: pk=%d bytes, sk=%d bytes, sig=%d bytes\n",
+		p.Name, p.PKBytes, p.SKBytes, p.SigBytes)
+
+	msg := []byte("HERO-Sign quickstart message")
+
+	// CPU reference path.
+	cpuSig, err := herosign.Sign(sk, msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated-GPU path with the full HERO-Sign stack.
+	gpu, err := herosign.GPUByName("RTX 4090")
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := herosign.NewAccelerator(p, gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := acc.SignBatch(sk, [][]byte{msg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !bytes.Equal(cpuSig, res.Sigs[0]) {
+		log.Fatal("GPU and CPU signatures differ — this must never happen")
+	}
+	fmt.Println("GPU-simulated signature is byte-identical to the CPU reference")
+
+	if err := herosign.Verify(&sk.PublicKey, msg, cpuSig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("signature verifies")
+
+	if t := acc.Tuning(); t != nil {
+		fmt.Printf("FORS tree tuning on %s: %s\n", gpu.Name, t)
+	}
+}

@@ -1,0 +1,194 @@
+// Package herosign is a Go reproduction of HERO-Sign (HPCA 2026):
+// hierarchical tuning and compiler-time GPU optimizations for SPHINCS+
+// signature generation.
+//
+// The package offers three layers:
+//
+//  1. A complete, pure-Go SPHINCS+ implementation (SHA-256, simple
+//     construction; the 128f/192f/256f sets the paper evaluates plus the -s
+//     sets): GenerateKey, Sign, Verify.
+//  2. A deterministic GPU performance-model simulator with a catalog of the
+//     paper's six NVIDIA devices, over which both HERO-Sign's optimized
+//     kernels and the TCAS-SPHINCSp baseline execute functionally.
+//  3. The HERO-Sign engine itself — FORS Fusion with the Auto Tree Tuning
+//     search, Relax-FORS, adaptive PTX/native branch selection, hybrid
+//     memory placement, generalized bank-conflict padding and task-graph
+//     batch execution — exposed through Accelerator.
+//
+// Signatures produced by any Accelerator configuration are byte-identical
+// to Sign's output and verify with Verify.
+package herosign
+
+import (
+	"herosign/internal/baseline"
+	"herosign/internal/core"
+	"herosign/internal/core/tuner"
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// Params identifies a SPHINCS+ parameter set.
+type Params = params.Params
+
+// Standard parameter sets. The -f sets are the paper's evaluation targets.
+var (
+	SPHINCSPlus128s = params.SPHINCSPlus128s
+	SPHINCSPlus128f = params.SPHINCSPlus128f
+	SPHINCSPlus192s = params.SPHINCSPlus192s
+	SPHINCSPlus192f = params.SPHINCSPlus192f
+	SPHINCSPlus256s = params.SPHINCSPlus256s
+	SPHINCSPlus256f = params.SPHINCSPlus256f
+)
+
+// ParamsByName resolves a parameter set from names like "SPHINCS+-128f" or
+// "128f".
+func ParamsByName(name string) (*Params, error) { return params.ByName(name) }
+
+// AllParams lists every built-in parameter set.
+func AllParams() []*Params { return params.AllSets() }
+
+// PublicKey is a SPHINCS+ public key.
+type PublicKey = spx.PublicKey
+
+// PrivateKey is a SPHINCS+ private key.
+type PrivateKey = spx.PrivateKey
+
+// GenerateKey creates a key pair from crypto/rand.
+func GenerateKey(p *Params) (*PrivateKey, error) { return spx.GenerateKey(p) }
+
+// KeyFromSeeds derives a key pair deterministically from
+// (SK.seed, SK.prf, PK.seed), each p.N bytes.
+func KeyFromSeeds(p *Params, skSeed, skPRF, pkSeed []byte) (*PrivateKey, error) {
+	return spx.KeyFromSeeds(p, skSeed, skPRF, pkSeed)
+}
+
+// ParsePublicKey deserializes a public key (PK.seed || PK.root).
+func ParsePublicKey(p *Params, b []byte) (*PublicKey, error) { return spx.ParsePublicKey(p, b) }
+
+// ParsePrivateKey deserializes a private key
+// (SK.seed || SK.prf || PK.seed || PK.root).
+func ParsePrivateKey(p *Params, b []byte) (*PrivateKey, error) { return spx.ParsePrivateKey(p, b) }
+
+// Sign produces a SPHINCS+ signature with the CPU reference implementation.
+func Sign(sk *PrivateKey, msg []byte) ([]byte, error) { return spx.Sign(sk, msg, nil) }
+
+// Verify checks a SPHINCS+ signature. It returns nil for a valid signature.
+func Verify(pk *PublicKey, msg, sig []byte) error { return spx.Verify(pk, msg, sig) }
+
+// GPU describes one simulated device model.
+type GPU = device.Device
+
+// GPUs lists the simulated device catalog (paper Table VII).
+func GPUs() []*GPU { return device.All() }
+
+// GPUByName resolves a device by product name ("RTX 4090") or architecture
+// ("Ada").
+func GPUByName(name string) (*GPU, error) { return device.ByName(name) }
+
+// Features selects the HERO-Sign optimizations an Accelerator applies.
+type Features = core.Features
+
+// HeroFeatures returns the full HERO-Sign optimization stack.
+func HeroFeatures() Features { return core.AllFeatures() }
+
+// BaselineFeatures returns the TCAS-SPHINCSp baseline configuration.
+func BaselineFeatures() Features { return core.Baseline() }
+
+// BatchResult reports signatures and modeled performance for one batch.
+type BatchResult = core.BatchResult
+
+// TuningResult is the output of the Auto Tree Tuning search.
+type TuningResult = tuner.Result
+
+// Tune runs the offline Tree Tuning search (paper Algorithm 1) for a
+// parameter set on a device.
+func Tune(p *Params, d *GPU) (*TuningResult, error) {
+	return tuner.Tune(p, d, tuner.Options{})
+}
+
+// Option configures an Accelerator.
+type Option func(*core.Config)
+
+// WithFeatures overrides the optimization set (default: HeroFeatures).
+func WithFeatures(f Features) Option {
+	return func(c *core.Config) { c.Features = f }
+}
+
+// WithSubBatch sets the launch-group granularity for stream/graph
+// scheduling (default 64, the paper's preferred batch size).
+func WithSubBatch(n int) Option {
+	return func(c *core.Config) { c.SubBatch = n }
+}
+
+// WithStreams sets the number of concurrent streams (default 4).
+func WithStreams(n int) Option {
+	return func(c *core.Config) { c.Streams = n }
+}
+
+// Accelerator signs message batches on a simulated GPU.
+type Accelerator struct {
+	signer *core.Signer
+}
+
+// NewAccelerator builds a batch signer for the parameter set on the device.
+// By default it applies the full HERO-Sign optimization stack, running the
+// Tree Tuning search during construction.
+func NewAccelerator(p *Params, d *GPU, opts ...Option) (*Accelerator, error) {
+	cfg := core.Config{Params: p, Device: d, Features: core.AllFeatures()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{signer: s}, nil
+}
+
+// SignBatch signs every message, returning signatures (byte-identical to
+// Sign) and modeled performance.
+func (a *Accelerator) SignBatch(sk *PrivateKey, msgs [][]byte) (*BatchResult, error) {
+	return a.signer.SignBatch(sk, msgs)
+}
+
+// MeasureBatch runs a sampled batch of the given size for performance
+// measurement only (no signatures returned).
+func (a *Accelerator) MeasureBatch(sk *PrivateKey, batch int) (*BatchResult, error) {
+	return a.signer.MeasureBatch(sk, batch, 4)
+}
+
+// VerifyResult reports a batch verification run.
+type VerifyResult = core.VerifyResult
+
+// VerifyBatch checks a batch of signatures on the simulated GPU (one block
+// per message, FORS-tree- and chain-level parallel). The verdicts agree
+// exactly with Verify.
+func (a *Accelerator) VerifyBatch(pk *PublicKey, msgs, sigs [][]byte) (*VerifyResult, error) {
+	return a.signer.VerifyBatch(pk, msgs, sigs)
+}
+
+// SeedTriple is the (SK.seed, SK.prf, PK.seed) input to batch key
+// generation; each component is Params.N bytes.
+type SeedTriple = core.SeedTriple
+
+// KeyGenResult reports a batch key-generation run.
+type KeyGenResult = core.KeyGenResult
+
+// KeyGenBatch derives key pairs on the simulated GPU (one block per key,
+// leaf-level parallel treehash). Keys are byte-identical to KeyFromSeeds.
+func (a *Accelerator) KeyGenBatch(seeds []SeedTriple) (*KeyGenResult, error) {
+	return a.signer.KeyGenBatch(seeds)
+}
+
+// Tuning returns the Tree Tuning result, or nil when fusion is disabled.
+func (a *Accelerator) Tuning() *TuningResult { return a.signer.Tuning() }
+
+// NewBaseline builds a TCAS-SPHINCSp-style baseline signer for comparisons.
+func NewBaseline(p *Params, d *GPU) (*Accelerator, error) {
+	b, err := baseline.New(p, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{signer: b.Core()}, nil
+}

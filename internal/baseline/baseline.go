@@ -1,0 +1,58 @@
+// Package baseline models TCAS-SPHINCSp (Kim et al., IEEE TCAS-I 2024), the
+// state-of-the-art GPU SPHINCS+ implementation the paper compares against
+// (§IV-B1).
+//
+// The baseline shares HERO-Sign's kernel decomposition (the paper follows
+// Kim et al.'s three-kernel split) but none of its optimizations:
+//
+//   - FORS processes a single subtree at a time inside each block
+//     ("supported only single FORS subtree parallelism", §II-B);
+//   - every kernel uses the native compilation path;
+//   - read-only seeds live in global memory;
+//   - shared memory is unpadded and child nodes load as two separate
+//     transactions;
+//   - batches are submitted stream-by-stream with blocking synchronization,
+//     which produces the idle time of Table II.
+//
+// It is implemented as the zero-feature configuration of the core engine so
+// that baseline and HERO-Sign are always functionally identical and differ
+// only in the modeled optimization state.
+package baseline
+
+import (
+	"herosign/internal/core"
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// Signer is a TCAS-SPHINCSp-style batch signer on the simulated GPU.
+type Signer struct {
+	inner *core.Signer
+}
+
+// New builds a baseline signer for the parameter set on the device.
+func New(p *params.Params, d *device.Device) (*Signer, error) {
+	inner, err := core.New(core.Config{
+		Params:   p,
+		Device:   d,
+		Features: core.Baseline(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Signer{inner: inner}, nil
+}
+
+// SignBatch signs every message functionally.
+func (s *Signer) SignBatch(sk *spx.PrivateKey, msgs [][]byte) (*core.BatchResult, error) {
+	return s.inner.SignBatch(sk, msgs)
+}
+
+// MeasureBatch runs a sampled timing batch of the given size.
+func (s *Signer) MeasureBatch(sk *spx.PrivateKey, batch, sample int) (*core.BatchResult, error) {
+	return s.inner.MeasureBatch(sk, batch, sample)
+}
+
+// Core exposes the underlying engine for profiling experiments.
+func (s *Signer) Core() *core.Signer { return s.inner }

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+func key(t testing.TB, p *params.Params) *spx.PrivateKey {
+	t.Helper()
+	s := make([]byte, p.N)
+	for i := range s {
+		s[i] = byte(i + 2)
+	}
+	sk, err := spx.KeyFromSeeds(p, s, s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// TestBaselineSignaturesMatchReference: the baseline model is functionally
+// exact SPHINCS+.
+func TestBaselineSignaturesMatchReference(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := key(t, p)
+	s, err := New(p, device.RTX4090)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := [][]byte{[]byte("baseline a"), []byte("baseline b")}
+	res, err := s.SignBatch(sk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		want, err := spx.Sign(sk, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Sigs[i], want) {
+			t.Fatalf("baseline signature %d differs from reference", i)
+		}
+	}
+}
+
+// TestBaselineUsesNoHeroFeatures verifies the configuration is the
+// zero-feature one: no tuner, native kernels, unpadded shared memory.
+func TestBaselineUsesNoHeroFeatures(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	s, err := New(p, device.RTX4090)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Core().Tuning() != nil {
+		t.Fatal("baseline ran the tree tuner")
+	}
+	res, err := s.MeasureBatch(key(t, p), 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fors := res.Kernels["FORS_Sign"]
+	if fors.RegsPerThread != 64 {
+		t.Errorf("baseline FORS regs = %d, want native 64", fors.RegsPerThread)
+	}
+	if fors.Shmem.LoadConflicts == 0 {
+		t.Error("baseline shared memory should exhibit bank conflicts")
+	}
+	if fors.ConstRead != 0 {
+		t.Error("baseline must not use constant memory")
+	}
+}
+
+// TestBaselineBreakdownShape checks Table II's qualitative structure on the
+// model: MSS (TREE) dominates, WOTS+ is lightest, FORS in between — for all
+// three -f sets.
+func TestBaselineBreakdownShape(t *testing.T) {
+	for _, p := range params.FastSets() {
+		s, err := New(p, device.RTX4090)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.MeasureBatch(key(t, p), 256, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forsMs := res.Kernels["FORS_Sign"].DurationUs
+		treeMs := res.Kernels["TREE_Sign"].DurationUs
+		wotsMs := res.Kernels["WOTS+_Sign"].DurationUs
+		if !(treeMs > forsMs && forsMs > wotsMs) {
+			t.Errorf("%s: breakdown FORS=%.0f TREE=%.0f WOTS=%.0f violates MSS > FORS > WOTS",
+				p.Name, forsMs, treeMs, wotsMs)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"herosign/internal/core"
+	"herosign/internal/core/tuner"
+	"herosign/internal/gpu/profile"
+	"herosign/internal/spx/params"
+)
+
+// Ablation experiments beyond the paper's figures: they probe the design
+// choices DESIGN.md calls out (the tuner's alpha heuristic, the launch-group
+// granularity, the stream count) so the sensitivity of each knob is
+// measurable rather than asserted.
+
+// AblationAlpha sweeps the Tree Tuning utilization floor and reports the
+// selected configuration plus the resulting FORS throughput.
+func (s *Suite) AblationAlpha() (*Table, error) {
+	t := &Table{
+		ID: "ablation-alpha", Title: "Tuner alpha sensitivity (SPHINCS+-128f)",
+		Header: []string{"alpha", "T_set", "N_tree", "F", "U_T", "sync", "FORS KOPS"},
+		Notes:  []string{"alpha=0.6 is the default that reproduces Table IV"},
+	}
+	p := params.SPHINCSPlus128f
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.6, 0.7, 0.9} {
+		r, err := tuner.Tune(p, s.Dev, tuner.Options{Alpha: alpha})
+		if err != nil {
+			t.Rows = append(t.Rows, []string{f2(alpha), "-", "-", "-", "-", "-", "infeasible"})
+			continue
+		}
+		sg, err := core.New(core.Config{
+			Params: p, Device: s.Dev, Features: core.AllFeatures(), Alpha: alpha,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sg.MeasureBatch(s.key(p), s.Batch, s.Sample)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(alpha), d0(int64(r.ThreadsPerSet)), d0(int64(r.TreesPerSet)),
+			d0(int64(r.F)), f4(r.ThreadUtil), f1(r.SyncScore),
+			f1(res.KernelKOPS["FORS_Sign"]),
+		})
+	}
+	return t, nil
+}
+
+// AblationSubBatch sweeps the launch-group size (the paper's §IV-E1
+// "appropriate batch sizes" exploration).
+func (s *Suite) AblationSubBatch() (*Table, error) {
+	t := &Table{
+		ID: "ablation-subbatch", Title: "Launch-group (sub-batch) sensitivity (SPHINCS+-128f, batch 1024)",
+		Header: []string{"SubBatch", "KOPS (graph)", "KOPS (streams)", "Launch us (streams)"},
+		Notes:  []string{"paper §IV-E1: ~64 preferred when transfers matter, >=512 for raw throughput"},
+	}
+	p := params.SPHINCSPlus128f
+	for _, sb := range []int{8, 16, 32, 64, 128, 256, 512} {
+		graphF := core.AllFeatures()
+		sgGraph, err := core.New(core.Config{
+			Params: p, Device: s.Dev, Features: graphF, SubBatch: sb,
+		})
+		if err != nil {
+			return nil, err
+		}
+		streamF := core.AllFeatures()
+		streamF.Graph = false
+		sgStream, err := core.New(core.Config{
+			Params: p, Device: s.Dev, Features: streamF, SubBatch: sb,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rg, err := sgGraph.MeasureBatch(s.key(p), s.Batch, s.Sample)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := sgStream.MeasureBatch(s.key(p), s.Batch, s.Sample)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d0(int64(sb)), f2(rg.ThroughputKOPS), f2(rs.ThroughputKOPS),
+			f2(rs.LaunchOverheadUs),
+		})
+	}
+	return t, nil
+}
+
+// AblationStreams sweeps the stream count for HERO-Sign without graphs.
+func (s *Suite) AblationStreams() (*Table, error) {
+	t := &Table{
+		ID: "ablation-streams", Title: "Stream-count sensitivity (SPHINCS+-128f, streams mode)",
+		Header: []string{"Streams", "KOPS", "Idle us"},
+	}
+	p := params.SPHINCSPlus128f
+	f := core.AllFeatures()
+	f.Graph = false
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		sg, err := core.New(core.Config{Params: p, Device: s.Dev, Features: f, Streams: n})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sg.MeasureBatch(s.key(p), s.Batch, s.Sample)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{d0(int64(n)), f2(res.ThroughputKOPS), f2(res.IdleUs)})
+	}
+	return t, nil
+}
+
+// Profile renders Nsight-style kernel reports for the baseline and HERO
+// configurations at 128f (the raw material behind Tables III and VIII).
+func (s *Suite) Profile() (*Table, error) {
+	p := params.SPHINCSPlus128f
+	var sb strings.Builder
+	for _, cfg := range []struct {
+		name  string
+		feats core.Features
+	}{
+		{"baseline", core.Baseline()},
+		{"hero", core.AllFeatures()},
+	} {
+		res, err := s.measure(p, cfg.feats, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kernelNames {
+			sb.WriteString(fmt.Sprintf("[%s]\n", cfg.name))
+			profile.FromStats(s.Dev, res.Kernels[k]).Render(&sb)
+		}
+	}
+	t := &Table{
+		ID: "profile", Title: "Nsight-style kernel profiles (SPHINCS+-128f)",
+		Header: []string{"report"},
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		t.Rows = append(t.Rows, []string{line})
+	}
+	return t, nil
+}

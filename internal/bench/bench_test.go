@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"herosign/internal/gpu/device"
+)
+
+func fastSuite() *Suite {
+	s := NewSuite(device.RTX4090)
+	s.Batch = 64
+	s.Sample = 1
+	return s
+}
+
+// TestEveryExperimentRuns executes each generator once on a reduced batch
+// and checks structural validity of the output table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short")
+	}
+	s := fastSuite()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %q != experiment id %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range tab.Rows {
+				if len(row) > len(tab.Header) {
+					t.Errorf("row %d wider than header", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunByIDUnknown covers the error path.
+func TestRunByIDUnknown(t *testing.T) {
+	if _, err := fastSuite().RunByID("table99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestRender checks the text renderer's alignment and note emission.
+func TestRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: T ==", "a    bbbb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable1Static checks the static parameter table without running the
+// simulator.
+func TestTable1Static(t *testing.T) {
+	tab, err := fastSuite().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][7] != "17088" {
+		t.Errorf("128f sig bytes cell = %q", tab.Rows[0][7])
+	}
+}
+
+// TestTable4AgainstPaper checks the tuning table contains the exact
+// published utilizations.
+func TestTable4AgainstPaper(t *testing.T) {
+	tab, err := fastSuite().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][1] != "0.6875" || tab.Rows[0][3] != "3" {
+		t.Errorf("128f tuning row = %v", tab.Rows[0])
+	}
+	if tab.Rows[1][1] != "0.7500" || tab.Rows[1][3] != "2" {
+		t.Errorf("192f tuning row = %v", tab.Rows[1])
+	}
+	if !strings.HasPrefix(tab.Rows[2][4], "relax") {
+		t.Errorf("256f should report relax mode, got %v", tab.Rows[2])
+	}
+}
+
+// TestTable5MatchesPaperSelection asserts the reproduced Table V equals the
+// published selection on RTX 4090.
+func TestTable5MatchesPaperSelection(t *testing.T) {
+	tab, err := fastSuite().Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]string{
+		{"ok", "x", "x"},
+		{"ok", "x", "x"},
+		{"ok", "ok", "ok"},
+	}
+	for i, w := range want {
+		for j := 0; j < 3; j++ {
+			if tab.Rows[i][1+j] != w[j] {
+				t.Errorf("row %d kernel %d: got %q want %q", i, j, tab.Rows[i][1+j], w[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+// Published values from the paper, used for side-by-side shape comparison.
+// Keyed by parameter-set name in the -f order the paper's tables use.
+
+// paperTable2 is the TCAS-SPHINCSp time breakdown in ms (Table II).
+var paperTable2 = map[string]struct{ FORS, Idle, MSS, WOTS float64 }{
+	"SPHINCS+-128f": {1.89, 2.27, 6.57, 0.93},
+	"SPHINCS+-192f": {7.75, 2.31, 10.06, 1.33},
+	"SPHINCS+-256f": {13.25, 2.29, 26.55, 1.47},
+}
+
+// paperTable8 is the kernel throughput comparison in KOPS (Table VIII).
+var paperTable8 = map[string]map[string]struct{ Baseline, Hero float64 }{
+	"SPHINCS+-128f": {
+		"FORS_Sign":  {442.9, 946.3},
+		"TREE_Sign":  {125.2, 157.7},
+		"WOTS+_Sign": {2493.1, 4915.7},
+	},
+	"SPHINCS+-192f": {
+		"FORS_Sign":  {128.9, 222.0},
+		"TREE_Sign":  {88.2, 93.6},
+		"WOTS+_Sign": {1457.6, 2464.9},
+	},
+	"SPHINCS+-256f": {
+		"FORS_Sign":  {66.6, 116.4},
+		"TREE_Sign":  {36.4, 44.9},
+		"WOTS+_Sign": {776.8, 1570.9},
+	},
+}
+
+// paperFig11 is the FORS_Sign optimization-step throughput in KOPS
+// (Figure 11), steps Baseline, MMTP, +FS, +PTX, +HybridME, +FreeBank.
+var paperFig11 = map[string][6]float64{
+	"SPHINCS+-128f": {442.9, 702.7, 721.8, 752.0, 915.9, 946.3},
+	"SPHINCS+-192f": {128.9, 174.1, 178.6, 206.4, 219.1, 222.0},
+	"SPHINCS+-256f": {66.6, 73.5, 91.9, 97.8, 106.7, 116.4},
+}
+
+// paperFig12KOPS is the end-to-end throughput in KOPS (Figure 12), in the
+// order Baseline(no graph), Baseline(with graph), HERO(no graph),
+// HERO(with graph).
+var paperFig12KOPS = map[string][4]float64{
+	"SPHINCS+-128f": {93.17, 97.54, 116.48, 119.47},
+	"SPHINCS+-192f": {51.18, 56.50, 60.94, 65.43},
+	"SPHINCS+-256f": {23.93, 25.74, 31.28, 33.88},
+}
+
+// paperFig12LatencyUs is the kernel launch latency in µs (Figure 12):
+// Baseline, HERO (no graph), HERO (with graph).
+var paperFig12LatencyUs = map[string][3]float64{
+	"SPHINCS+-128f": {4270.00, 308.06, 49.41},
+	"SPHINCS+-192f": {4439.00, 2722.75, 42.97},
+	"SPHINCS+-256f": {7102.00, 5025.00, 32.10},
+}
+
+// paperTable9 holds the cross-platform comparators (Table IX): throughput
+// in KOPS and power-per-signature in watt-seconds per signature.
+var paperTable9 = []struct {
+	Variant        string
+	BerthetKOPS    float64 // FPGA XZU3EG, SHA-256 (0 = not supported)
+	BerthetPPS     float64
+	AmietKOPS      float64 // FPGA Artix-7, SHAKE-256
+	AmietPPS       float64
+	SphincsletKOPS float64 // ASIC, SHA-256
+	HeroKOPS       float64 // paper's HERO-Sign RTX 4090
+	HeroPPS        float64
+}{
+	{"SPHINCS+-128f", 0.016, 0.4, 0.99, 9.76, 0.52, 119.47, 0.003},
+	{"SPHINCS+-192f", 0, 0, 0.85, 9.69, 0.20, 65.43, 0.002},
+	{"SPHINCS+-256f", 0.00057, 0.474, 0.40, 9.80, 0.10, 33.88, 0.003},
+}
+
+// paperTable11 is the average compilation time in seconds (Table XI).
+var paperTable11 = map[string]struct{ Baseline, Hero float64 }{
+	"SPHINCS+-128f": {18.68, 14.61},
+	"SPHINCS+-192f": {23.25, 21.72},
+	"SPHINCS+-256f": {24.19, 19.18},
+}

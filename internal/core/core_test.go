@@ -1,0 +1,335 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/ptx"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+func testKey(t testing.TB, p *params.Params) *spx.PrivateKey {
+	t.Helper()
+	skSeed := make([]byte, p.N)
+	skPRF := make([]byte, p.N)
+	pkSeed := make([]byte, p.N)
+	for i := range skSeed {
+		skSeed[i] = byte(i + 1)
+		skPRF[i] = byte(2*i + 3)
+		pkSeed[i] = byte(5*i + 7)
+	}
+	sk, err := spx.KeyFromSeeds(p, skSeed, skPRF, pkSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func refSigs(t testing.TB, sk *spx.PrivateKey, msgs [][]byte) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		sig, err := spx.Sign(sk, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = sig
+	}
+	return out
+}
+
+func testMsgs(n int) [][]byte {
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i >> 8), 'm', 's', 'g', byte(3 * i)}
+	}
+	return msgs
+}
+
+// signerFor builds a signer for a feature set on RTX 4090.
+func signerFor(t testing.TB, p *params.Params, f Features) *Signer {
+	t.Helper()
+	s, err := New(Config{Params: p, Device: device.RTX4090, Features: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEveryOptimizationStepMatchesReference is the repository's central
+// invariant: at every stage of the paper's Figure 11 optimization walk
+// (plus the full configuration with Graph), the GPU-simulated signer
+// produces signatures byte-identical to the pure-Go reference, for every
+// -f parameter set.
+func TestEveryOptimizationStepMatchesReference(t *testing.T) {
+	sets := []*params.Params{params.SPHINCSPlus128f}
+	if !testing.Short() {
+		sets = params.FastSets()
+	}
+	for _, p := range sets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			sk := testKey(t, p)
+			msgs := testMsgs(3)
+			want := refSigs(t, sk, msgs)
+
+			steps := append(OptimizationSteps(), Step{Name: "Full+Graph", Feats: AllFeatures()})
+			for _, step := range steps {
+				s := signerFor(t, p, step.Feats)
+				res, err := s.SignBatch(sk, msgs)
+				if err != nil {
+					t.Fatalf("%s: %v", step.Name, err)
+				}
+				for i := range msgs {
+					if !bytes.Equal(res.Sigs[i], want[i]) {
+						t.Fatalf("%s: signature %d differs from reference (first diff at %d)",
+							step.Name, i, firstDiff(res.Sigs[i], want[i]))
+					}
+					if err := spx.Verify(&sk.PublicKey, msgs[i], res.Sigs[i]); err != nil {
+						t.Fatalf("%s: signature %d does not verify: %v", step.Name, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTuningAppliedToKernels checks the fused FORS launch uses the tuner's
+// geometry (704 threads, 33 KB shared for 128f).
+func TestTuningAppliedToKernels(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	s := signerFor(t, p, Features{MMTP: true, Fusion: true})
+	sk := testKey(t, p)
+	res, err := s.SignBatch(sk, testMsgs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fors := res.Kernels["FORS_Sign"]
+	if fors.ThreadsPerBlock != 704 {
+		t.Errorf("fused FORS threads = %d, want 704", fors.ThreadsPerBlock)
+	}
+	if fors.SharedMemBytes != 33*1024 {
+		t.Errorf("fused FORS shared = %d, want 33KB (unpadded)", fors.SharedMemBytes)
+	}
+	if s.Tuning() == nil || s.Tuning().F != 3 {
+		t.Error("tuning result not exposed or wrong")
+	}
+}
+
+// TestFreeBankReducesConflicts compares FORS shared-memory conflicts with
+// and without padding (Table VI's direction) and checks the padded kernel
+// is not slower.
+func TestFreeBankReducesConflicts(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+	msgs := testMsgs(2)
+
+	base := Features{MMTP: true, Fusion: true}
+	withPad := base
+	withPad.FreeBank = true
+
+	resBase, err := signerFor(t, p, base).SignBatch(sk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPad, err := signerFor(t, p, withPad).SignBatch(sk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := resBase.Kernels["FORS_Sign"].Shmem
+	q := resPad.Kernels["FORS_Sign"].Shmem
+	if b.LoadConflicts == 0 {
+		t.Fatal("unpadded FORS kernel shows no bank conflicts; model broken")
+	}
+	if q.LoadConflicts*4 > b.LoadConflicts {
+		t.Fatalf("padding left too many conflicts: %d -> %d", b.LoadConflicts, q.LoadConflicts)
+	}
+}
+
+// TestHybridMemMovesTrafficToConstant checks the §III-D effect.
+func TestHybridMemMovesTrafficToConstant(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+	msgs := testMsgs(2)
+
+	off, err := signerFor(t, p, Features{MMTP: true}).SignBatch(sk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := signerFor(t, p, Features{MMTP: true, HybridMem: true}).SignBatch(sk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"FORS_Sign", "TREE_Sign", "WOTS+_Sign"} {
+		if on.Kernels[k].GlobalRead >= off.Kernels[k].GlobalRead {
+			t.Errorf("%s: HybridMem did not reduce global reads (%d -> %d)",
+				k, off.Kernels[k].GlobalRead, on.Kernels[k].GlobalRead)
+		}
+		if on.Kernels[k].ConstRead == 0 {
+			t.Errorf("%s: HybridMem produced no constant traffic", k)
+		}
+	}
+}
+
+// TestAdaptiveSelectionMatchesTableV runs the profiling-driven branch
+// selection on RTX 4090 and compares with the paper's Table V.
+func TestAdaptiveSelectionMatchesTableV(t *testing.T) {
+	want := map[string]map[ptx.Kernel]ptx.Variant{
+		"SPHINCS+-128f": {ptx.FORSSign: ptx.PTX, ptx.TREESign: ptx.Native, ptx.WOTSSign: ptx.Native},
+		"SPHINCS+-192f": {ptx.FORSSign: ptx.PTX, ptx.TREESign: ptx.Native, ptx.WOTSSign: ptx.Native},
+		"SPHINCS+-256f": {ptx.FORSSign: ptx.PTX, ptx.TREESign: ptx.PTX, ptx.WOTSSign: ptx.PTX},
+	}
+	for _, p := range params.FastSets() {
+		sk := testKey(t, p)
+		s := signerFor(t, p, AllFeatures())
+		sel, err := s.Selection(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range want[p.Name] {
+			if sel[k] != v {
+				t.Errorf("%s %v: selected %v, paper selected %v", p.Name, k, sel[k], v)
+			}
+		}
+	}
+}
+
+// TestGraphSchedulingFasterAndCheaper checks Figure 12's direction: with
+// identical kernels, graph execution reduces both launch overhead and total
+// time versus stream submission.
+func TestGraphSchedulingFasterAndCheaper(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+
+	noGraph := AllFeatures()
+	noGraph.Graph = false
+	a, err := signerFor(t, p, noGraph).MeasureBatch(sk, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := signerFor(t, p, AllFeatures()).MeasureBatch(sk, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LaunchOverheadUs >= a.LaunchOverheadUs/5 {
+		t.Errorf("graph launch overhead %.1fus vs stream %.1fus: expected >5x reduction",
+			g.LaunchOverheadUs, a.LaunchOverheadUs)
+	}
+	if g.TotalUs >= a.TotalUs {
+		t.Errorf("graph total %.1fus not faster than streams %.1fus", g.TotalUs, a.TotalUs)
+	}
+}
+
+// TestHeroBeatsBaselineThroughput is the headline claim at batch 256 on
+// RTX 4090 for 128f: full HERO-Sign must beat the baseline configuration
+// end to end, within the paper's reported 1.24x-3.13x range.
+func TestHeroBeatsBaselineThroughput(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+	base, err := signerFor(t, p, Baseline()).MeasureBatch(sk, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hero, err := signerFor(t, p, AllFeatures()).MeasureBatch(sk, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := hero.ThroughputKOPS / base.ThroughputKOPS
+	if speedup < 1.2 {
+		t.Fatalf("HERO speedup %.2fx below the paper's floor (base %.1f KOPS, hero %.1f KOPS)",
+			speedup, base.ThroughputKOPS, hero.ThroughputKOPS)
+	}
+	if speedup > 6 {
+		t.Fatalf("HERO speedup %.2fx implausibly high; model miscalibrated", speedup)
+	}
+}
+
+// TestMeasureBatchScalesLikeSignBatch cross-checks the sampled measurement
+// path against full execution on a small batch.
+func TestMeasureBatchScalesLikeSignBatch(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+	s := signerFor(t, p, AllFeatures())
+	full, err := s.SignBatch(sk, testMsgs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := s.MeasureBatch(sk, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"FORS_Sign", "TREE_Sign", "WOTS+_Sign"} {
+		f, m := full.Kernels[k].DurationUs, sampled.Kernels[k].DurationUs
+		rel := (f - m) / f
+		if rel > 0.2 || rel < -0.2 {
+			t.Errorf("%s: sampled duration %.1fus deviates >20%% from full %.1fus", k, m, f)
+		}
+	}
+	if sampled.Sigs != nil {
+		t.Error("MeasureBatch must not return signatures")
+	}
+}
+
+// TestRejectsMismatchedKey checks parameter-set validation.
+func TestRejectsMismatchedKey(t *testing.T) {
+	s := signerFor(t, params.SPHINCSPlus128f, Baseline())
+	sk := testKey(t, params.SPHINCSPlus192f)
+	if _, err := s.SignBatch(sk, testMsgs(1)); err == nil {
+		t.Fatal("mismatched key accepted")
+	}
+	if _, err := s.SignBatch(testKey(t, params.SPHINCSPlus128f), nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// mustDev resolves a catalog device or fails the test.
+func mustDev(t testing.TB, name string) *device.Device {
+	t.Helper()
+	d, err := device.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPaperOccupancyAnchor256fTree reproduces the paper's §III-C example
+// exactly: the baseline TREE_Sign kernel at 256f runs at ~19% theoretical
+// occupancy (168 regs/thread), and the PTX branch (95 regs) doubles it to
+// 37.5% — "a 1.97x increase compared to the native version".
+func TestPaperOccupancyAnchor256fTree(t *testing.T) {
+	p := params.SPHINCSPlus256f
+	sk := testKey(t, p)
+
+	base, err := signerFor(t, p, Baseline()).MeasureBatch(sk, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hero, err := signerFor(t, p, AllFeatures()).MeasureBatch(sk, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base.Kernels["TREE_Sign"].Occ.TheoreticalPct
+	h := hero.Kernels["TREE_Sign"].Occ.TheoreticalPct
+	if b < 18 || b > 20 {
+		t.Errorf("baseline 256f TREE occupancy = %.2f%%, paper ~19%%", b)
+	}
+	if h < 37 || h > 38 {
+		t.Errorf("HERO 256f TREE occupancy = %.2f%%, paper 37.5%%", h)
+	}
+	ratio := h / b
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("occupancy gain %.2fx, paper 1.97x", ratio)
+	}
+}

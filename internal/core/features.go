@@ -1,0 +1,64 @@
+// Package core implements HERO-Sign itself: the three SPHINCS+ component
+// kernels (FORS_Sign, TREE_Sign, WOTS+_Sign) expressed as simulated-GPU
+// block programs, plus the paper's optimization stack — multiple-Merkle-tree
+// parallelization (MMTP), FORS Fusion driven by the Auto Tree Tuning search,
+// the Relax-FORS model, adaptive PTX/native branch selection, hybrid memory
+// placement, generalized bank-conflict padding, and task-graph batch
+// execution.
+//
+// Every configuration of the engine produces signatures byte-identical to
+// the pure-Go reference (internal/spx); the integration tests enforce this.
+package core
+
+// Features selects which HERO-Sign optimizations are active. The zero value
+// is the TCAS-SPHINCSp-style baseline behaviour.
+type Features struct {
+	// MMTP computes multiple Merkle trees in parallel inside one block
+	// (§III-A). Without it, FORS subtrees are processed one at a time, as in
+	// the baseline.
+	MMTP bool
+	// Fusion applies the Tree Tuning search result to fuse consecutive Sets
+	// (§III-B); implies MMTP. For parameter sets where the tuner selects the
+	// Relax-FORS model, Fusion enables it too.
+	Fusion bool
+	// PTX enables adaptive per-kernel selection between the native and
+	// PTX-optimized SHA-256 branches (§III-C). Without it every kernel uses
+	// the native branch.
+	PTX bool
+	// HybridMem places read-only seed material in constant memory and
+	// vectorizes residual global accesses (§III-D).
+	HybridMem bool
+	// FreeBank enables the generalized shared-memory padding (§III-E).
+	FreeBank bool
+	// Graph batches kernel launches through a task graph (§III-F). It
+	// affects scheduling only, never kernel content.
+	Graph bool
+}
+
+// Baseline returns the feature set modeling the TCAS-SPHINCSp baseline.
+func Baseline() Features { return Features{} }
+
+// AllFeatures returns the full HERO-Sign configuration.
+func AllFeatures() Features {
+	return Features{MMTP: true, Fusion: true, PTX: true, HybridMem: true, FreeBank: true, Graph: true}
+}
+
+// Step is one stage of the paper's Figure 11 optimization walk.
+type Step struct {
+	Name  string
+	Feats Features
+}
+
+// OptimizationSteps returns the cumulative stages of Figure 11:
+// Baseline → MMTP → +FS → +PTX → +HybridME → +FreeBank.
+// (Graph execution is evaluated separately in Figure 12.)
+func OptimizationSteps() []Step {
+	return []Step{
+		{Name: "Baseline", Feats: Features{}},
+		{Name: "MMTP", Feats: Features{MMTP: true}},
+		{Name: "+FS", Feats: Features{MMTP: true, Fusion: true}},
+		{Name: "+PTX", Feats: Features{MMTP: true, Fusion: true, PTX: true}},
+		{Name: "+HybridME", Feats: Features{MMTP: true, Fusion: true, PTX: true, HybridMem: true}},
+		{Name: "+FreeBank", Feats: Features{MMTP: true, Fusion: true, PTX: true, HybridMem: true, FreeBank: true}},
+	}
+}

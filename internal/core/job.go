@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// Job is the per-message signing state shared by the three kernels. The
+// host-side prologue (randomizer, message digest, index extraction — the
+// precomputation highlighted in the paper's Fig. 2) runs at job creation;
+// the kernels then fill the signature buffer and the intermediate roots.
+type Job struct {
+	P   *params.Params
+	Msg []byte
+
+	// Digest-derived selectors.
+	R       []byte
+	MD      []byte
+	TreeIdx uint64
+	LeafIdx uint32
+	Indices []uint32 // FORS leaf selections, one per tree
+
+	// Per-layer hypertree selectors (tree/leaf index per layer, bottom-up).
+	LayerTree []uint64
+	LayerLeaf []uint32
+
+	// Outputs.
+	Sig    []byte   // the full signature buffer
+	ForsPK []byte   // filled by FORS_Sign
+	Roots  [][]byte // subtree root per layer, filled by TREE_Sign
+}
+
+// NewJob performs the host-side prologue for one message.
+func NewJob(sk *spx.PrivateKey, msg, optRand []byte) (*Job, error) {
+	p := sk.Params
+	if optRand == nil {
+		optRand = sk.Seed
+	}
+	if len(optRand) != p.N {
+		return nil, fmt.Errorf("core: OptRand must be %d bytes", p.N)
+	}
+	j := &Job{
+		P:      p,
+		Msg:    append([]byte(nil), msg...),
+		Sig:    make([]byte, p.SigBytes),
+		ForsPK: make([]byte, p.N),
+		Roots:  make([][]byte, p.D),
+	}
+	for i := range j.Roots {
+		j.Roots[i] = make([]byte, p.N)
+	}
+
+	j.R = hashes.PRFMsg(p, sk.SKPRF, optRand, msg)
+	copy(j.Sig[:p.N], j.R)
+
+	digest := hashes.HMsg(p, j.R, sk.Seed, sk.Root, msg)
+	j.MD, j.TreeIdx, j.LeafIdx = hashes.SplitDigest(p, digest)
+	j.MD = append([]byte(nil), j.MD...)
+	j.Indices = hashes.MessageToIndices(p, j.MD)
+
+	// Per-layer index walk (paper Fig. 2 snippet).
+	j.LayerTree = make([]uint64, p.D)
+	j.LayerLeaf = make([]uint32, p.D)
+	tree, leaf := j.TreeIdx, j.LeafIdx
+	for layer := 0; layer < p.D; layer++ {
+		j.LayerTree[layer] = tree
+		j.LayerLeaf[layer] = leaf
+		leaf = uint32(tree & ((1 << uint(p.TreeHeight)) - 1))
+		tree >>= uint(p.TreeHeight)
+	}
+	return j, nil
+}
+
+// ForsSig returns the FORS region of the signature buffer.
+func (j *Job) ForsSig() []byte {
+	return j.Sig[j.P.N : j.P.N+j.P.ForsBytes]
+}
+
+// ForsItem returns tree i's signature item (revealed leaf secret followed by
+// the authentication path).
+func (j *Job) ForsItem(i int) []byte {
+	itemBytes := (j.P.LogT + 1) * j.P.N
+	fs := j.ForsSig()
+	return fs[i*itemBytes : (i+1)*itemBytes]
+}
+
+// LayerSig returns layer `layer`'s XMSS region (WOTS+ signature followed by
+// the authentication path).
+func (j *Job) LayerSig(layer int) []byte {
+	p := j.P
+	base := p.N + p.ForsBytes + layer*p.XMSSBytes
+	return j.Sig[base : base+p.XMSSBytes]
+}
+
+// WotsSig returns the WOTS+ signature region of a layer.
+func (j *Job) WotsSig(layer int) []byte { return j.LayerSig(layer)[:j.P.WOTSBytes] }
+
+// AuthPath returns the authentication-path region of a layer.
+func (j *Job) AuthPath(layer int) []byte { return j.LayerSig(layer)[j.P.WOTSBytes:] }
+
+// WotsMessage returns the value layer `layer`'s WOTS+ key pair signs: the
+// FORS public key at layer 0, otherwise the subtree root below.
+func (j *Job) WotsMessage(layer int) []byte {
+	if layer == 0 {
+		return j.ForsPK
+	}
+	return j.Roots[layer-1]
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"herosign/internal/gpu/shmem"
+	"herosign/internal/gpu/sim"
+	"herosign/internal/ptx"
+	"herosign/internal/spx"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+)
+
+// KeyGenBatch derives the public roots for a batch of seed triples on the
+// simulated GPU. SPHINCS+ key generation is one hypertree-top treehash:
+// 2^(h/d) wots_gen_leaf calls plus the reduction — embarrassingly parallel
+// and dominated by exactly the register-pressure-bound leaf kernel the
+// paper analyses (§III). One block per key.
+//
+// Returned keys are byte-identical to spx.KeyFromSeeds (enforced by tests).
+type SeedTriple struct {
+	SKSeed []byte
+	SKPRF  []byte
+	PKSeed []byte
+}
+
+// KeyGenResult reports the batch and its modeled kernel stats.
+type KeyGenResult struct {
+	Keys   []*spx.PrivateKey
+	Kernel *sim.Stats
+}
+
+// KeyGenBatch runs the key-generation kernel over the seed triples.
+func (s *Signer) KeyGenBatch(seeds []SeedTriple) (*KeyGenResult, error) {
+	p := s.cfg.Params
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: empty keygen batch")
+	}
+	for i, tr := range seeds {
+		if len(tr.SKSeed) != p.N || len(tr.SKPRF) != p.N || len(tr.PKSeed) != p.N {
+			return nil, fmt.Errorf("core: seed triple %d has wrong lengths", i)
+		}
+	}
+
+	leaves := 1 << uint(p.TreeHeight)
+	threads := roundUp32(leaves)
+	variant := ptx.Native
+	if s.cfg.Features.PTX {
+		// Key generation is wots_gen_leaf-bound like TREE_Sign; reuse its
+		// selection when available.
+		if v, ok := s.sel[ptx.TREESign]; ok {
+			variant = v
+		}
+	}
+	sched := ptx.ScheduleFor(ptx.TREESign, variant, p.N)
+	regs, spill := sched.CappedRegs(maxFeasibleRegs(s.cfg.Device, threads))
+
+	roots := make([][]byte, len(seeds))
+	layerBytes := leaves * p.N
+
+	launch := &sim.Launch{
+		Name:               "KEYGEN",
+		Blocks:             len(seeds),
+		ThreadsPerBlock:    threads,
+		RegsPerThread:      regs,
+		SharedLogicalBytes: layerBytes,
+		SharedPadding:      s.padding(),
+		CyclesPerCompress:  sched.CyclesPerCompress * spill,
+		Body: func(b *sim.Block) {
+			tr := seeds[b.Idx]
+			ctx := hashes.NewCtx(p, tr.PKSeed, tr.SKSeed)
+			cache := newCtxCache(ctx, threads)
+			b.GlobalRead(3 * p.N)
+
+			var treeAdrs address.Address
+			treeAdrs.SetLayer(uint32(p.D - 1))
+			treeAdrs.SetTree(0)
+
+			b.For(minInt(leaves, threads), func(tid int) {
+				for leaf := tid; leaf < leaves; leaf += threads {
+					tctx := cache.at(b, tid)
+					if s.cfg.Features.HybridMem {
+						b.ConstRead(2 * p.N)
+					} else {
+						b.GlobalRead(2 * p.N)
+					}
+					node := make([]byte, p.N)
+					wotsGenLeaf(tctx, node, &treeAdrs, uint32(leaf), p)
+					b.Shared.Write(tid, leaf*p.N, node)
+				}
+			})
+			b.Sync()
+
+			for h := 0; h < p.TreeHeight; h++ {
+				parents := (leaves >> uint(h)) / 2
+				b.For(minInt(parents, threads), func(tid int) {
+					for i := tid; i < parents; i += threads {
+						tctx := cache.at(b, tid)
+						var nodeAdrs address.Address
+						nodeAdrs.CopySubtree(&treeAdrs)
+						nodeAdrs.SetType(address.Tree)
+						nodeAdrs.SetTreeHeight(uint32(h + 1))
+						nodeAdrs.SetTreeIndex(uint32(i))
+						left := make([]byte, p.N)
+						right := make([]byte, p.N)
+						kset := &kernelSet{p: p, dev: s.cfg.Device, feats: s.cfg.Features}
+						kset.readChildren(b, tid, 2*i*p.N, left, right)
+						parent := make([]byte, p.N)
+						tctx.H(parent, left, right, &nodeAdrs)
+						b.Shared.Write(tid, i*p.N, parent)
+					}
+				})
+				b.Sync()
+			}
+
+			root := make([]byte, p.N)
+			b.For(1, func(tid int) {
+				b.Shared.Read(tid, 0, root)
+				b.GlobalWrite(p.N)
+			})
+			b.Sync()
+			roots[b.Idx] = root
+		},
+	}
+
+	eng := sim.New(s.cfg.Device)
+	st, err := eng.Run(launch)
+	if err != nil {
+		return nil, err
+	}
+
+	keys := make([]*spx.PrivateKey, len(seeds))
+	for i, tr := range seeds {
+		keys[i] = &spx.PrivateKey{
+			PublicKey: spx.PublicKey{
+				Params: p,
+				Seed:   append([]byte(nil), tr.PKSeed...),
+				Root:   roots[i],
+			},
+			SKSeed: append([]byte(nil), tr.SKSeed...),
+			SKPRF:  append([]byte(nil), tr.SKPRF...),
+		}
+	}
+	return &KeyGenResult{Keys: keys, Kernel: st}, nil
+}
+
+// padding mirrors kernelSet.padding for signer-level kernels.
+func (s *Signer) padding() shmem.Padding {
+	ks := &kernelSet{p: s.cfg.Params, feats: s.cfg.Features}
+	return ks.padding()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+func seedTriples(p *params.Params, n int) []SeedTriple {
+	out := make([]SeedTriple, n)
+	for i := range out {
+		mk := func(tag byte) []byte {
+			b := make([]byte, p.N)
+			for j := range b {
+				b[j] = byte(j)*3 + tag + byte(i)
+			}
+			return b
+		}
+		out[i] = SeedTriple{SKSeed: mk(1), SKPRF: mk(2), PKSeed: mk(3)}
+	}
+	return out
+}
+
+// TestKeyGenBatchMatchesReference: GPU-derived roots equal KeyFromSeeds'.
+func TestKeyGenBatchMatchesReference(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	s := signerFor(t, p, AllFeatures())
+	seeds := seedTriples(p, 3)
+	res, err := s.KeyGenBatch(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range seeds {
+		want, err := spx.KeyFromSeeds(p, tr.SKSeed, tr.SKPRF, tr.PKSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Keys[i].Root, want.Root) {
+			t.Fatalf("key %d: GPU root differs from reference", i)
+		}
+		if !bytes.Equal(res.Keys[i].Bytes(), want.Bytes()) {
+			t.Fatalf("key %d: serialized keys differ", i)
+		}
+	}
+	if res.Kernel.Compress == 0 || res.Kernel.DurationUs <= 0 {
+		t.Fatal("keygen kernel reported no work")
+	}
+}
+
+// TestKeyGenKeysActuallySign: a GPU-generated key signs and verifies.
+func TestKeyGenKeysActuallySign(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	s := signerFor(t, p, Baseline())
+	res, err := s.KeyGenBatch(seedTriples(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := res.Keys[0]
+	msg := []byte("gpu key signs")
+	sig, err := spx.Sign(sk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spx.Verify(&sk.PublicKey, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyGenValidation covers input checks.
+func TestKeyGenValidation(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	s := signerFor(t, p, AllFeatures())
+	if _, err := s.KeyGenBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := seedTriples(p, 1)
+	bad[0].PKSeed = bad[0].PKSeed[:p.N-1]
+	if _, err := s.KeyGenBatch(bad); err == nil {
+		t.Fatal("short seed accepted")
+	}
+}
+
+// TestCrossDeviceByteEquality signs the same messages on every catalog
+// device (different tuner geometries, pass counts, fusion factors) and
+// requires identical bytes — the strongest exercise of the fused/relax
+// kernel index arithmetic.
+func TestCrossDeviceByteEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-device equality skipped in -short")
+	}
+	for _, p := range []*params.Params{params.SPHINCSPlus128f, params.SPHINCSPlus256f} {
+		sk := testKey(t, p)
+		msgs := testMsgs(2)
+		want := refSigs(t, sk, msgs)
+		for _, devName := range []string{"GTX 1070", "V100", "A100", "H100"} {
+			s, err := New(Config{Params: p, Device: mustDev(t, devName), Features: AllFeatures()})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name, devName, err)
+			}
+			res, err := s.SignBatch(sk, msgs)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name, devName, err)
+			}
+			for i := range msgs {
+				if !bytes.Equal(res.Sigs[i], want[i]) {
+					t.Fatalf("%s on %s: signature %d differs", p.Name, devName, i)
+				}
+			}
+		}
+	}
+}

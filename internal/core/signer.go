@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+
+	"herosign/internal/core/tuner"
+	"herosign/internal/gpu/device"
+	"herosign/internal/gpu/sched"
+	"herosign/internal/gpu/sim"
+	"herosign/internal/ptx"
+	"herosign/internal/spx"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// Config configures a Signer.
+type Config struct {
+	Params   *params.Params
+	Device   *device.Device
+	Features Features
+
+	// SubBatch is the number of messages per launch group when scheduling
+	// streams/graphs. Zero selects the paper's preferred 64 (§IV-E1);
+	// the baseline model overrides this with a much finer granularity.
+	SubBatch int
+	// Streams is the number of concurrent streams (graph lanes). Zero
+	// selects 4.
+	Streams int
+	// Alpha is the Tree Tuning search's utilization floor; zero selects the
+	// tuner default.
+	Alpha float64
+	// ProbeBlocks is the profile-batch size used for adaptive PTX selection;
+	// zero selects 4.
+	ProbeBlocks int
+}
+
+// Signer signs message batches on the simulated GPU with the configured
+// optimization stack.
+type Signer struct {
+	cfg  Config
+	tune *tuner.Result
+	sel  map[ptx.Kernel]ptx.Variant
+}
+
+// New builds a Signer: it runs the offline Tree Tuning search when fusion is
+// enabled (the tuner decides standard vs Relax-FORS), and defers PTX branch
+// selection to the first batch (profiling-driven, §III-C2).
+func New(cfg Config) (*Signer, error) {
+	if cfg.Params == nil || cfg.Device == nil {
+		return nil, fmt.Errorf("core: Params and Device are required")
+	}
+	if cfg.SubBatch == 0 {
+		cfg.SubBatch = 64
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = 8
+	}
+	if cfg.ProbeBlocks == 0 {
+		cfg.ProbeBlocks = 4
+	}
+	s := &Signer{cfg: cfg}
+	if cfg.Features.Fusion {
+		t, err := tuner.Tune(cfg.Params, cfg.Device, tuner.Options{Alpha: cfg.Alpha})
+		if err != nil {
+			return nil, err
+		}
+		s.tune = t
+	}
+	return s, nil
+}
+
+// Tuning returns the Tree Tuning result (nil when fusion is disabled).
+func (s *Signer) Tuning() *tuner.Result { return s.tune }
+
+// Selection returns the adaptive PTX/native choice per kernel, computing it
+// on demand with a probe batch (Table V's content). Without the PTX feature
+// every kernel reports native.
+func (s *Signer) Selection(sk *spx.PrivateKey) (map[ptx.Kernel]ptx.Variant, error) {
+	if !s.cfg.Features.PTX {
+		return map[ptx.Kernel]ptx.Variant{
+			ptx.FORSSign: ptx.Native, ptx.TREESign: ptx.Native, ptx.WOTSSign: ptx.Native,
+		}, nil
+	}
+	if s.sel != nil {
+		return s.sel, nil
+	}
+	probeMsgs := make([][]byte, s.cfg.ProbeBlocks)
+	for i := range probeMsgs {
+		probeMsgs[i] = []byte(fmt.Sprintf("herosign-probe-%d", i))
+	}
+	jobs, baseCtx, err := s.prepareJobs(sk, probeMsgs, nil)
+	if err != nil {
+		return nil, err
+	}
+	sel := make(map[ptx.Kernel]ptx.Variant, 3)
+	eng := sim.New(s.cfg.Device)
+	for _, k := range ptx.Kernels() {
+		best, bestDur := ptx.Native, 0.0
+		for _, v := range []ptx.Variant{ptx.Native, ptx.PTX} {
+			ks := &kernelSet{
+				p: s.cfg.Params, dev: s.cfg.Device, feats: s.cfg.Features,
+				tune: s.tune, baseCtx: baseCtx, jobs: jobs, blocks: len(jobs),
+				sel: map[ptx.Kernel]ptx.Variant{k: v},
+			}
+			l, err := s.buildKernel(ks, k)
+			if err != nil {
+				return nil, err
+			}
+			st, err := eng.Run(l)
+			if err != nil {
+				return nil, err
+			}
+			if v == ptx.Native || st.DurationUs < bestDur {
+				best, bestDur = v, st.DurationUs
+			}
+		}
+		sel[k] = best
+	}
+	s.sel = sel
+	return sel, nil
+}
+
+func (s *Signer) buildKernel(ks *kernelSet, k ptx.Kernel) (*sim.Launch, error) {
+	switch k {
+	case ptx.FORSSign:
+		return ks.forsLaunch()
+	case ptx.TREESign:
+		return ks.treeLaunch()
+	case ptx.WOTSSign:
+		return ks.wotsLaunch()
+	}
+	return nil, fmt.Errorf("core: unknown kernel %v", k)
+}
+
+// prepareJobs runs the host-side prologue for every message.
+func (s *Signer) prepareJobs(sk *spx.PrivateKey, msgs [][]byte, optRand []byte) ([]*Job, *hashes.Ctx, error) {
+	if sk.Params != s.cfg.Params {
+		return nil, nil, fmt.Errorf("core: key parameter set %s does not match signer %s",
+			sk.Params.Name, s.cfg.Params.Name)
+	}
+	jobs := make([]*Job, len(msgs))
+	for i, m := range msgs {
+		j, err := NewJob(sk, m, optRand)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs[i] = j
+	}
+	baseCtx := hashes.NewCtx(sk.Params, sk.Seed, sk.SKSeed)
+	return jobs, baseCtx, nil
+}
+
+// BatchResult reports one batch execution.
+type BatchResult struct {
+	Sigs [][]byte // nil entries when the engine sampled (timing-only runs)
+
+	Kernels  map[string]*sim.Stats // keyed by kernel name
+	Timeline sched.Timeline
+
+	// ThroughputKOPS is end-to-end kilo-signatures per second including
+	// scheduling and launch overhead.
+	ThroughputKOPS float64
+	// KernelKOPS is per-kernel throughput (Table VIII's metric): batch size
+	// over the kernel's exclusive duration.
+	KernelKOPS map[string]float64
+
+	LaunchOverheadUs float64
+	IdleUs           float64
+	TotalUs          float64
+}
+
+// SignBatch signs every message functionally (full execution) and returns
+// signatures plus modeled performance.
+func (s *Signer) SignBatch(sk *spx.PrivateKey, msgs [][]byte) (*BatchResult, error) {
+	return s.runBatch(sk, msgs, 0)
+}
+
+// MeasureBatch runs the batch with functional execution sampled down to
+// sampleBlocks blocks (counters are scaled; signatures are not returned).
+// Use it for large timing sweeps where executing every block functionally
+// would be wasteful.
+func (s *Signer) MeasureBatch(sk *spx.PrivateKey, batch int, sampleBlocks int) (*BatchResult, error) {
+	if sampleBlocks <= 0 {
+		sampleBlocks = 4
+	}
+	n := batch
+	if n > sampleBlocks {
+		n = sampleBlocks
+	}
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("herosign-measure-%d", i))
+	}
+	res, err := s.runBatchSized(sk, msgs, batch, sampleBlocks)
+	if err != nil {
+		return nil, err
+	}
+	res.Sigs = nil
+	return res, nil
+}
+
+func (s *Signer) runBatch(sk *spx.PrivateKey, msgs [][]byte, sample int) (*BatchResult, error) {
+	return s.runBatchSized(sk, msgs, len(msgs), sample)
+}
+
+func (s *Signer) runBatchSized(sk *spx.PrivateKey, msgs [][]byte, gridBlocks, sample int) (*BatchResult, error) {
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	sel, err := s.Selection(sk)
+	if err != nil {
+		return nil, err
+	}
+	jobs, baseCtx, err := s.prepareJobs(sk, msgs, nil)
+	if err != nil {
+		return nil, err
+	}
+	ks := &kernelSet{
+		p: s.cfg.Params, dev: s.cfg.Device, feats: s.cfg.Features,
+		tune: s.tune, sel: sel, baseCtx: baseCtx, jobs: jobs, blocks: gridBlocks,
+	}
+	eng := &sim.Engine{Dev: s.cfg.Device, SampleBlocks: sample}
+
+	stats := make(map[string]*sim.Stats, 3)
+	// Functional execution order respects the data dependencies:
+	// WOTS+_Sign consumes the FORS pk and subtree roots.
+	for _, k := range []ptx.Kernel{ptx.FORSSign, ptx.TREESign, ptx.WOTSSign} {
+		l, err := s.buildKernel(ks, k)
+		if err != nil {
+			return nil, err
+		}
+		st, err := eng.Run(l)
+		if err != nil {
+			return nil, err
+		}
+		stats[l.Name] = st
+	}
+
+	res := &BatchResult{Kernels: stats, KernelKOPS: make(map[string]float64, 3)}
+	for name, st := range stats {
+		if st.DurationUs > 0 {
+			res.KernelKOPS[name] = float64(gridBlocks) / (st.DurationUs / 1e6) / 1000
+		}
+	}
+
+	res.Timeline = s.schedule(gridBlocks, stats)
+	res.TotalUs = res.Timeline.TotalUs
+	res.LaunchOverheadUs = res.Timeline.LaunchOverheadUs
+	res.IdleUs = res.Timeline.IdleUs
+	if res.TotalUs > 0 {
+		res.ThroughputKOPS = float64(gridBlocks) / (res.TotalUs / 1e6) / 1000
+	}
+
+	if sample == 0 {
+		res.Sigs = make([][]byte, len(jobs))
+		for i, j := range jobs {
+			res.Sigs[i] = j.Sig
+		}
+	}
+	return res, nil
+}
+
+// schedule builds the launch timeline for the batch: the batch splits into
+// SubBatch-sized groups; each group launches FORS and TREE concurrently and
+// WOTS after both (the dependency DAG of §III-F, Fig. 10).
+//
+// The baseline model submits work in very small groups, reproducing
+// TCAS-style fine-grained stream submission whose per-launch host overhead
+// dominates (the paper's Fig. 12 reports milliseconds of launch latency
+// for the baseline); HERO-Sign submits SubBatch-sized groups over
+// non-blocking streams, or a single instantiated task graph when the Graph
+// feature is on.
+func (s *Signer) schedule(batch int, stats map[string]*sim.Stats) sched.Timeline {
+	d := s.cfg.Device
+	// Graph mode changes the dispatch mechanism, not the submission
+	// structure, so it does not make a baseline configuration "HERO".
+	hero := s.cfg.Features.MMTP || s.cfg.Features.Fusion || s.cfg.Features.PTX ||
+		s.cfg.Features.HybridMem || s.cfg.Features.FreeBank
+
+	group := s.cfg.SubBatch
+	streamsAvail := s.cfg.Streams
+	if !hero {
+		// The baseline slices the batch across twice its stream count.
+		group = (batch + 2*streamsAvail - 1) / (2 * streamsAvail)
+	}
+	if group > batch {
+		group = batch
+	}
+	if group < 1 {
+		group = 1
+	}
+	nGroups := (batch + group - 1) / group
+
+	// concurrent is how many blocks the device can run at once for a
+	// kernel; a group's solo duration is its share of the full batch's
+	// duration in whole waves, and its utilization is the device fraction
+	// those blocks cover. remaining-work conservation: solo × util sums to
+	// the full-batch device work across groups.
+	concurrent := func(st *sim.Stats) int {
+		res := st.Occ.ResidentBlocksPerSM
+		if res < 1 {
+			res = 1
+		}
+		return d.SMs * res
+	}
+	util := func(st *sim.Stats, blocks int) float64 {
+		u := float64(blocks) / float64(concurrent(st))
+		if u > 1 {
+			return 1
+		}
+		return u
+	}
+	soloDur := func(st *sim.Stats, blocks int) float64 {
+		c := concurrent(st)
+		gWaves := (blocks + c - 1) / c
+		fullWaves := (batch + c - 1) / c
+		return st.DurationUs * float64(gWaves) / float64(fullWaves)
+	}
+
+	fors, tree, wots := stats["FORS_Sign"], stats["TREE_Sign"], stats["WOTS+_Sign"]
+	var items []sched.Item
+	streams := s.cfg.Streams
+
+	if !hero {
+		// TCAS-style submission: each stream owns a batch slice and chains
+		// FORS -> one TREE launch per hypertree layer -> WOTS serially
+		// (the baseline does not exploit the FORS/TREE independence that
+		// HERO-Sign's task graph builds on, and its per-layer merkle_sign
+		// launches multiply the host launch count — the paper's Fig. 12
+		// measures milliseconds of baseline launch latency).
+		for g := 0; g < nGroups; g++ {
+			blocks := group
+			if g == nGroups-1 {
+				blocks = batch - g*group
+			}
+			stream := g % streams
+			items = append(items, sched.Item{
+				Name: "FORS_Sign", DurationUs: soloDur(fors, blocks), Util: util(fors, blocks),
+				Stream: stream,
+			})
+			perLayer := soloDur(tree, blocks) / float64(s.cfg.Params.D)
+			for layer := 0; layer < s.cfg.Params.D; layer++ {
+				items = append(items, sched.Item{
+					Name: "TREE_Sign", DurationUs: perLayer, Util: util(tree, blocks),
+					Stream: stream,
+				})
+			}
+			items = append(items, sched.Item{
+				Name: "WOTS+_Sign", DurationUs: soloDur(wots, blocks), Util: util(wots, blocks),
+				Stream: stream,
+			})
+		}
+		mode := sched.Streams
+		if s.cfg.Features.Graph {
+			mode = sched.Graph
+		}
+		return sched.Run(d, items, mode)
+	}
+
+	for g := 0; g < nGroups; g++ {
+		blocks := group
+		if g == nGroups-1 {
+			blocks = batch - g*group
+		}
+		base := len(items)
+		items = append(items, sched.Item{
+			Name: "FORS_Sign", DurationUs: soloDur(fors, blocks), Util: util(fors, blocks),
+			Stream: (2 * g) % streams,
+		})
+		items = append(items, sched.Item{
+			Name: "TREE_Sign", DurationUs: soloDur(tree, blocks), Util: util(tree, blocks),
+			Stream: (2*g + 1) % streams,
+		})
+		items = append(items, sched.Item{
+			Name: "WOTS+_Sign", DurationUs: soloDur(wots, blocks), Util: util(wots, blocks),
+			Stream: (2 * g) % streams, Deps: []int{base, base + 1},
+		})
+	}
+
+	mode := sched.Streams
+	if s.cfg.Features.Graph {
+		mode = sched.Graph
+	}
+	return sched.Run(d, items, mode)
+}

@@ -1,0 +1,230 @@
+// Package tuner implements HERO-Sign's offline Auto Tree Tuning search
+// (paper Algorithm 1): given the FORS geometry (k, log2 t, n) and the
+// target GPU's shared-memory budget, it enumerates feasible
+// (threads-per-Set, fusion-factor) configurations, filters them with the
+// paper's heuristics, and ranks them by argmin(sync, −U_T, −U_S).
+//
+// The tuner also decides when to switch to the Relax-FORS model (§III-B4):
+// when so few full trees fit per block that fusion degenerates, each thread
+// generates L leaves privately in a register Relax Buffer and writes only
+// the level-log2(L) node to shared memory, halving (or better) the
+// footprint per tree.
+package tuner
+
+import (
+	"fmt"
+	"sort"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx/params"
+)
+
+// DefaultAlpha is the thread-utilization floor α of Algorithm 1 (line 18).
+// The paper notes α is architecture-dependent; 0.6 reproduces the published
+// RTX 4090 search results.
+const DefaultAlpha = 0.6
+
+// MaxRelaxBufferBytes bounds the per-thread register Relax Buffer (the
+// paper's R_t threshold): L·n bytes must stay within it to avoid spills.
+const MaxRelaxBufferBytes = 128
+
+// Options control the search.
+type Options struct {
+	// Alpha is the minimum thread utilization; zero selects DefaultAlpha.
+	Alpha float64
+	// ForceRelax forces the Relax-FORS model regardless of the heuristic.
+	ForceRelax bool
+	// MaxThreads caps threads per block; zero selects the device limit.
+	MaxThreads int
+}
+
+// Candidate is one feasible configuration from the search.
+type Candidate struct {
+	ThreadsPerSet int     // T_set
+	TreesPerSet   int     // N_tree
+	F             int     // fused Sets
+	ThreadUtil    float64 // U_T
+	SharedUtil    float64 // U_S
+	SyncScore     float64 // synchronization points after fusion
+}
+
+// Result is the selected configuration plus the candidate set.
+type Result struct {
+	Candidate
+
+	// Relax is true when the Relax-FORS model is active.
+	Relax bool
+	// LeavesPerThread is 1 without Relax, else the L leaves each thread
+	// folds privately before touching shared memory.
+	LeavesPerThread int
+	// SharedBytesPerSet is the logical shared-memory footprint of one Set.
+	SharedBytesPerSet int
+	// SharedBytesTotal is the logical footprint of the fused block
+	// (F × SharedBytesPerSet), before bank padding.
+	SharedBytesTotal int
+	// DynamicShared reports whether the footprint needs the opt-in limit.
+	DynamicShared bool
+	// Passes is the number of sequential fused passes needed to cover all
+	// k trees: ceil(k / (N_tree · F)).
+	Passes int
+
+	Candidates []Candidate // ranked, best first
+}
+
+// String summarizes the chosen configuration.
+func (r *Result) String() string {
+	mode := "standard"
+	if r.Relax {
+		mode = fmt.Sprintf("relax(L=%d)", r.LeavesPerThread)
+	}
+	return fmt.Sprintf("T_set=%d N_tree=%d F=%d U_T=%.4f U_S=%.4f sync=%.1f mode=%s",
+		r.ThreadsPerSet, r.TreesPerSet, r.F, r.ThreadUtil, r.SharedUtil, r.SyncScore, mode)
+}
+
+// NeedsRelax reports the paper's switching heuristic (§III-B4): the Relax
+// model is used when fewer than three full trees can run in parallel per
+// block, whether the binding constraint is threads (256f: 512-leaf trees
+// allow at most two per 1024-thread block) or static shared memory.
+func NeedsRelax(p *params.Params, d *device.Device) bool {
+	byThreads := d.MaxThreadsPerBlock / p.T
+	byMem := d.StaticSharedMemPerBlock / (p.T * p.N)
+	trees := byThreads
+	if byMem < trees {
+		trees = byMem
+	}
+	return trees < 3
+}
+
+// Tune runs Algorithm 1 for the parameter set on the device.
+func Tune(p *params.Params, d *device.Device, opts Options) (*Result, error) {
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	tMax := opts.MaxThreads
+	if tMax == 0 || tMax > d.MaxThreadsPerBlock {
+		tMax = d.MaxThreadsPerBlock
+	}
+
+	relax := opts.ForceRelax || NeedsRelax(p, d)
+	leavesPerThread := 1
+	threadsPerTree := p.T // T_min: one thread per leaf
+	nodeBytesPerTree := p.T * p.N
+	sMax := d.StaticSharedMemPerBlock
+	dynamic := false
+	syncLevels := p.LogT
+
+	if relax {
+		// Fold L leaves per thread until a tree's threads fit a block and
+		// its shared footprint allows fusion, bounded by the register
+		// budget R_t.
+		l := 2
+		for {
+			if l*p.N > MaxRelaxBufferBytes {
+				return nil, fmt.Errorf(
+					"tuner: %s does not fit the Relax buffer budget on %s (t=%d, n=%d)",
+					p.Name, d.Name, p.T, p.N)
+			}
+			if p.T/l <= tMax && (p.T/l)*p.N <= d.MaxSharedMemPerBlock {
+				break
+			}
+			l *= 2
+		}
+		leavesPerThread = l
+		threadsPerTree = p.T / l
+		nodeBytesPerTree = (p.T / l) * p.N
+		sMax = d.MaxSharedMemPerBlock
+		dynamic = true
+		syncLevels = p.LogT - log2(l)
+	}
+
+	if threadsPerTree > tMax {
+		return nil, fmt.Errorf("tuner: one %s tree needs %d threads > block limit %d",
+			p.Name, threadsPerTree, tMax)
+	}
+
+	// The FreeBank padding inserts one 4-byte bank per 128-byte row
+	// (1/32 overhead); configurations must leave that headroom so the
+	// padded footprint still fits the hardware limit. Utilizations are
+	// still reported against the raw limit, as the paper does.
+	sEffective := sMax / 33 * 32
+
+	var cands []Candidate
+	for tSet := threadsPerTree; tSet <= tMax; tSet += threadsPerTree {
+		nTree := tSet / threadsPerTree
+		if nTree > p.K {
+			break
+		}
+		sSet := nTree * nodeBytesPerTree
+		if sSet > sEffective {
+			continue
+		}
+		fMax := minInt(sEffective/sSet, p.K/nTree)
+		for f := 1; f <= fMax; f++ {
+			tUsed := tSet
+			sUsed := f * sSet
+			if tUsed > tMax || sUsed > sEffective {
+				continue
+			}
+			uT := float64(tUsed) / float64(tMax)
+			uS := float64(sUsed) / float64(sMax)
+			if (uT == 1 && uS == 1) || uT < alpha {
+				continue
+			}
+			sync := float64(syncLevels) * ceilDiv(p.K, nTree) / float64(f)
+			cands = append(cands, Candidate{
+				ThreadsPerSet: tSet, TreesPerSet: nTree, F: f,
+				ThreadUtil: uT, SharedUtil: uS, SyncScore: sync,
+			})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("tuner: no feasible configuration for %s on %s (alpha=%.2f)",
+			p.Name, d.Name, alpha)
+	}
+
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.SyncScore != b.SyncScore {
+			return a.SyncScore < b.SyncScore
+		}
+		if a.ThreadUtil != b.ThreadUtil {
+			return a.ThreadUtil > b.ThreadUtil
+		}
+		if a.SharedUtil != b.SharedUtil {
+			return a.SharedUtil > b.SharedUtil
+		}
+		// Deterministic tie-break: fewer fused sets first.
+		return a.F < b.F
+	})
+
+	best := cands[0]
+	r := &Result{
+		Candidate:         best,
+		Relax:             relax,
+		LeavesPerThread:   leavesPerThread,
+		SharedBytesPerSet: best.TreesPerSet * nodeBytesPerTree,
+		DynamicShared:     dynamic,
+		Passes:            int(ceilDiv(p.K, best.TreesPerSet*best.F)),
+		Candidates:        cands,
+	}
+	r.SharedBytesTotal = best.F * r.SharedBytesPerSet
+	return r, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) float64 { return float64((a + b - 1) / b) }
+
+func log2(x int) int {
+	n := 0
+	for 1<<uint(n+1) <= x {
+		n++
+	}
+	return n
+}

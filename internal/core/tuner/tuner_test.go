@@ -1,0 +1,190 @@
+package tuner
+
+import (
+	"testing"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx/params"
+)
+
+// TestTableIV128f reproduces the paper's Table IV row for 128f on RTX 4090:
+// shared-memory utilization 0.6875, thread utilization 0.6875, F = 3.
+func TestTableIV128f(t *testing.T) {
+	r, err := Tune(params.SPHINCSPlus128f, device.RTX4090, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.F != 3 {
+		t.Errorf("F = %d, want 3", r.F)
+	}
+	if r.ThreadUtil != 0.6875 {
+		t.Errorf("U_T = %v, want 0.6875", r.ThreadUtil)
+	}
+	if r.SharedUtil != 0.6875 {
+		t.Errorf("U_S = %v, want 0.6875", r.SharedUtil)
+	}
+	if r.TreesPerSet != 11 || r.ThreadsPerSet != 704 {
+		t.Errorf("N_tree/T_set = %d/%d, want 11/704", r.TreesPerSet, r.ThreadsPerSet)
+	}
+	if r.Relax {
+		t.Error("128f must not use Relax-FORS")
+	}
+	// §III-B1: all 33 trees in flight use 33 KB of shared memory.
+	if r.SharedBytesTotal != 33*1024 {
+		t.Errorf("fused footprint = %d, want 33KB", r.SharedBytesTotal)
+	}
+	if r.Passes != 1 {
+		t.Errorf("passes = %d, want 1", r.Passes)
+	}
+	// Minimum possible sync count is one barrier per level.
+	if r.SyncScore != 6 {
+		t.Errorf("sync score = %v, want 6", r.SyncScore)
+	}
+}
+
+// TestTableIV192f reproduces the 192f row: utilizations 0.75, F = 2.
+func TestTableIV192f(t *testing.T) {
+	r, err := Tune(params.SPHINCSPlus192f, device.RTX4090, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.F != 2 {
+		t.Errorf("F = %d, want 2", r.F)
+	}
+	if r.ThreadUtil != 0.75 {
+		t.Errorf("U_T = %v, want 0.75", r.ThreadUtil)
+	}
+	if r.SharedUtil != 0.75 {
+		t.Errorf("U_S = %v, want 0.75", r.SharedUtil)
+	}
+	if r.TreesPerSet != 3 || r.ThreadsPerSet != 768 {
+		t.Errorf("N_tree/T_set = %d/%d, want 3/768", r.TreesPerSet, r.ThreadsPerSet)
+	}
+	if r.Relax {
+		t.Error("192f must not use Relax-FORS")
+	}
+}
+
+// TestRelaxTriggersFor256f checks the §III-B4 switch: 256f trees are 16 KB
+// each, so three no longer fit the 48 KB static limit and Relax-FORS
+// activates with L = 2 (one thread per leaf pair).
+func TestRelaxTriggersFor256f(t *testing.T) {
+	if !NeedsRelax(params.SPHINCSPlus256f, device.RTX4090) {
+		t.Fatal("256f should require Relax-FORS on RTX 4090")
+	}
+	if NeedsRelax(params.SPHINCSPlus128f, device.RTX4090) ||
+		NeedsRelax(params.SPHINCSPlus192f, device.RTX4090) {
+		t.Fatal("128f/192f must not require Relax-FORS")
+	}
+	r, err := Tune(params.SPHINCSPlus256f, device.RTX4090, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Relax || r.LeavesPerThread != 2 {
+		t.Fatalf("relax config = %v/L=%d, want relax L=2", r.Relax, r.LeavesPerThread)
+	}
+	if !r.DynamicShared {
+		t.Error("relax mode should use the dynamic shared-memory limit")
+	}
+	// Each relaxed tree holds t/2 x n = 8 KB in shared memory (paper Fig. 4
+	// "Half Used / Half Saved").
+	perTree := r.SharedBytesPerSet / r.TreesPerSet
+	if perTree != 8*1024 {
+		t.Errorf("relaxed per-tree footprint = %d, want 8KB", perTree)
+	}
+	if r.SharedBytesTotal > device.RTX4090.MaxSharedMemPerBlock {
+		t.Errorf("fused footprint %d exceeds opt-in limit", r.SharedBytesTotal)
+	}
+	// All 35 trees must be covered.
+	if r.TreesPerSet*r.F*r.Passes < 35 {
+		t.Errorf("coverage: %d trees/set x F=%d x %d passes < 35",
+			r.TreesPerSet, r.F, r.Passes)
+	}
+}
+
+// TestCandidatesRanked verifies the argmin(sync, -U_T, -U_S) ordering.
+func TestCandidatesRanked(t *testing.T) {
+	r, err := Tune(params.SPHINCSPlus128f, device.RTX4090, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Candidates) < 2 {
+		t.Skip("not enough candidates to compare")
+	}
+	for i := 1; i < len(r.Candidates); i++ {
+		a, b := r.Candidates[i-1], r.Candidates[i]
+		if a.SyncScore > b.SyncScore {
+			t.Fatalf("candidates out of order at %d: sync %v > %v", i, a.SyncScore, b.SyncScore)
+		}
+		if a.SyncScore == b.SyncScore && a.ThreadUtil < b.ThreadUtil {
+			t.Fatalf("candidates out of order at %d: U_T %v < %v", i, a.ThreadUtil, b.ThreadUtil)
+		}
+	}
+}
+
+// TestAlphaFiltersLowUtilization: with a high alpha no low-occupancy
+// configuration survives; with alpha near zero, more candidates appear.
+func TestAlphaFiltersLowUtilization(t *testing.T) {
+	strict, err := Tune(params.SPHINCSPlus128f, device.RTX4090, Options{Alpha: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Tune(params.SPHINCSPlus128f, device.RTX4090, Options{Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Candidates) <= len(strict.Candidates) {
+		t.Fatalf("loose alpha found %d candidates, strict %d",
+			len(loose.Candidates), len(strict.Candidates))
+	}
+	for _, c := range strict.Candidates {
+		if c.ThreadUtil < 0.6 {
+			t.Fatalf("candidate below alpha survived: %+v", c)
+		}
+	}
+}
+
+// TestCrossArchitectureFeasibility runs the tuner on every catalog device
+// and -f set: a feasible configuration must exist everywhere (the paper
+// extends HERO-Sign to all six GPUs in §IV-F).
+func TestCrossArchitectureFeasibility(t *testing.T) {
+	for _, d := range device.All() {
+		for _, p := range params.FastSets() {
+			r, err := Tune(p, d, Options{})
+			if err != nil {
+				t.Errorf("%s on %s: %v", p.Name, d.Name, err)
+				continue
+			}
+			if r.ThreadsPerSet > d.MaxThreadsPerBlock {
+				t.Errorf("%s on %s: threads %d exceed device", p.Name, d.Name, r.ThreadsPerSet)
+			}
+			limit := d.StaticSharedMemPerBlock
+			if r.DynamicShared {
+				limit = d.MaxSharedMemPerBlock
+			}
+			if r.SharedBytesTotal > limit {
+				t.Errorf("%s on %s: shared %d exceeds limit %d",
+					p.Name, d.Name, r.SharedBytesTotal, limit)
+			}
+		}
+	}
+}
+
+// TestSmallSetsEitherTuneOrFailCleanly covers the -s parameter sets: large
+// FORS trees may need deeper relax folding; the tuner must either produce a
+// consistent configuration or a clear error, never panic.
+func TestSmallSetsEitherTuneOrFailCleanly(t *testing.T) {
+	for _, p := range []*params.Params{params.SPHINCSPlus128s, params.SPHINCSPlus192s, params.SPHINCSPlus256s} {
+		r, err := Tune(p, device.RTX4090, Options{})
+		if err != nil {
+			t.Logf("%s: %v (acceptable)", p.Name, err)
+			continue
+		}
+		if r.LeavesPerThread < 2 {
+			t.Errorf("%s: expected relax folding, got L=%d", p.Name, r.LeavesPerThread)
+		}
+		if r.TreesPerSet*r.F*r.Passes < p.K {
+			t.Errorf("%s: configuration does not cover k=%d trees", p.Name, p.K)
+		}
+	}
+}

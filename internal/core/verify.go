@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"herosign/internal/gpu/sched"
+	"herosign/internal/gpu/sim"
+	"herosign/internal/ptx"
+	"herosign/internal/spx"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/wots"
+)
+
+// VerifyResult reports a batch verification run.
+type VerifyResult struct {
+	OK             []bool // per-message outcome
+	Kernel         *sim.Stats
+	Timeline       sched.Timeline
+	ThroughputKOPS float64
+}
+
+// VerifyBatch checks a batch of signatures on the simulated GPU with one
+// block per message. Verification is the paper's natural companion
+// workload (its GPU baselines CUSPX/TCAS provide it): the FORS recovery
+// parallelizes across the k trees and each hypertree layer's WOTS+ chain
+// walk parallelizes across chains, with the layer chain itself sequential
+// (each layer's root feeds the next).
+//
+// The outcome for every message is cross-checked against nothing — it IS
+// the verdict — but the package tests assert agreement with spx.Verify on
+// both valid and tampered inputs.
+func (s *Signer) VerifyBatch(pk *spx.PublicKey, msgs, sigs [][]byte) (*VerifyResult, error) {
+	if pk.Params != s.cfg.Params {
+		return nil, fmt.Errorf("core: key parameter set %s does not match signer %s",
+			pk.Params.Name, s.cfg.Params.Name)
+	}
+	if len(msgs) == 0 || len(msgs) != len(sigs) {
+		return nil, fmt.Errorf("core: need equal, non-zero message and signature counts")
+	}
+	p := s.cfg.Params
+	for i, sig := range sigs {
+		if len(sig) != p.SigBytes {
+			return nil, fmt.Errorf("core: signature %d has %d bytes, want %d", i, len(sig), p.SigBytes)
+		}
+	}
+
+	ctx := hashes.NewCtx(p, pk.Seed, nil)
+	ok := make([]bool, len(msgs))
+
+	// Thread geometry: enough lanes for the widest phase (k FORS trees or
+	// WOTSLen chains), bounded like the signing kernels.
+	width := p.K
+	if p.WOTSLen > width {
+		width = p.WOTSLen
+	}
+	threads := roundUp32(width)
+	variant := ptx.Native
+	if s.cfg.Features.PTX {
+		variant = ptx.PTX // chain walking mirrors FORS-style tree traffic
+	}
+	sched2 := ptx.ScheduleFor(ptx.WOTSSign, variant, p.N)
+	regsCap := maxFeasibleRegs(s.cfg.Device, threads)
+	regs, spill := sched2.CappedRegs(regsCap)
+
+	launch := &sim.Launch{
+		Name:              "VERIFY",
+		Blocks:            len(msgs),
+		ThreadsPerBlock:   threads,
+		RegsPerThread:     regs,
+		CyclesPerCompress: sched2.CyclesPerCompress * spill,
+		Body: func(b *sim.Block) {
+			i := b.Idx
+			msg, sig := msgs[i], sigs[i]
+			b.GlobalRead(len(sig) + len(msg))
+
+			// Host-equivalent prologue: digest and index extraction.
+			r := sig[:p.N]
+			digest := hashes.HMsg(p, r, pk.Seed, pk.Root, msg)
+			md, treeIdx, leafIdx := hashes.SplitDigest(p, digest)
+			indices := hashes.MessageToIndices(p, md)
+
+			var forsAdrs address.Address
+			forsAdrs.SetLayer(0)
+			forsAdrs.SetTree(treeIdx)
+			forsAdrs.SetType(address.FORSTree)
+			forsAdrs.SetKeyPair(leafIdx)
+
+			cache := newCtxCache(ctx, threads)
+			itemBytes := (p.LogT + 1) * p.N
+			forsSig := sig[p.N : p.N+p.ForsBytes]
+			roots := make([]byte, p.K*p.N)
+
+			// Phase 1: one thread per FORS tree recovers its root.
+			b.For(minInt(p.K, threads), func(tid int) {
+				for tree := tid; tree < p.K; tree += threads {
+					tctx := cache.at(b, tid)
+					item := forsSig[tree*itemBytes : (tree+1)*itemBytes]
+					leaf := indices[tree]
+					var nodeAdrs address.Address
+					nodeAdrs.CopyKeyPair(&forsAdrs)
+					nodeAdrs.SetType(address.FORSTree)
+					nodeAdrs.SetKeyPair(leafIdx)
+					nodeAdrs.SetTreeHeight(0)
+					nodeAdrs.SetTreeIndex(uint32(tree)*uint32(p.T) + leaf)
+					node := make([]byte, p.N)
+					tctx.F(node, item[:p.N], &nodeAdrs)
+					idx := leaf
+					offset := uint32(tree) * uint32(p.T)
+					for h := 0; h < p.LogT; h++ {
+						auth := item[(1+h)*p.N : (2+h)*p.N]
+						nodeAdrs.SetTreeHeight(uint32(h + 1))
+						offset >>= 1
+						nodeAdrs.SetTreeIndex(offset + idx>>1)
+						if idx&1 == 0 {
+							tctx.H(node, node, auth, &nodeAdrs)
+						} else {
+							tctx.H(node, auth, node, &nodeAdrs)
+						}
+						idx >>= 1
+					}
+					copy(roots[tree*p.N:(tree+1)*p.N], node)
+				}
+			})
+			b.Sync()
+
+			node := make([]byte, p.N)
+			b.For(1, func(tid int) {
+				tctx := cache.at(b, tid)
+				var rootsAdrs address.Address
+				rootsAdrs.CopyKeyPair(&forsAdrs)
+				rootsAdrs.SetType(address.FORSRoots)
+				rootsAdrs.SetKeyPair(leafIdx)
+				tctx.Thash(node, roots, &rootsAdrs)
+			})
+			b.Sync()
+
+			// Phase 2: hypertree layers, serial across layers, chain-level
+			// parallel within each.
+			htSig := sig[p.N+p.ForsBytes:]
+			tree, leaf := treeIdx, leafIdx
+			for layer := 0; layer < p.D; layer++ {
+				layerSig := htSig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
+				lengths := wots.ChainLengths(p, node)
+				pkBuf := make([]byte, p.WOTSLen*p.N)
+
+				var wotsAdrs address.Address
+				wotsAdrs.SetLayer(uint32(layer))
+				wotsAdrs.SetTree(tree)
+				wotsAdrs.SetType(address.WOTSHash)
+				wotsAdrs.SetKeyPair(leaf)
+
+				b.For(minInt(p.WOTSLen, threads), func(tid int) {
+					for chain := tid; chain < p.WOTSLen; chain += threads {
+						tctx := cache.at(b, tid)
+						var chainAdrs address.Address
+						chainAdrs = wotsAdrs
+						chainAdrs.SetType(address.WOTSHash)
+						chainAdrs.SetKeyPair(leaf)
+						chainAdrs.SetChain(uint32(chain))
+						seg := pkBuf[chain*p.N : (chain+1)*p.N]
+						wots.GenChain(tctx, seg, layerSig[chain*p.N:(chain+1)*p.N],
+							lengths[chain], uint32(p.W-1)-lengths[chain], &chainAdrs)
+					}
+				})
+				b.Sync()
+
+				b.For(1, func(tid int) {
+					tctx := cache.at(b, tid)
+					var pkAdrs address.Address
+					pkAdrs.CopyKeyPair(&wotsAdrs)
+					pkAdrs.SetType(address.WOTSPK)
+					pkAdrs.SetKeyPair(leaf)
+					tctx.Thash(node, pkBuf, &pkAdrs)
+
+					var nodeAdrs address.Address
+					nodeAdrs.SetLayer(uint32(layer))
+					nodeAdrs.SetTree(tree)
+					nodeAdrs.SetType(address.Tree)
+					auth := layerSig[p.WOTSBytes:]
+					idx := leaf
+					for h := 0; h < p.TreeHeight; h++ {
+						nodeAdrs.SetTreeHeight(uint32(h + 1))
+						nodeAdrs.SetTreeIndex(idx >> 1)
+						a := auth[h*p.N : (h+1)*p.N]
+						if idx&1 == 0 {
+							tctx.H(node, node, a, &nodeAdrs)
+						} else {
+							tctx.H(node, a, node, &nodeAdrs)
+						}
+						idx >>= 1
+					}
+				})
+				b.Sync()
+
+				leaf = uint32(tree & ((1 << uint(p.TreeHeight)) - 1))
+				tree >>= uint(p.TreeHeight)
+			}
+
+			match := true
+			for j := 0; j < p.N; j++ {
+				if node[j] != pk.Root[j] {
+					match = false
+					break
+				}
+			}
+			ok[i] = match
+			b.GlobalWrite(1)
+		},
+	}
+
+	eng := sim.New(s.cfg.Device)
+	st, err := eng.Run(launch)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scheduling: verification has no inter-kernel DAG; one launch per
+	// sub-batch over the configured streams.
+	group := s.cfg.SubBatch
+	if group > len(msgs) {
+		group = len(msgs)
+	}
+	nGroups := (len(msgs) + group - 1) / group
+	var items []sched.Item
+	for g := 0; g < nGroups; g++ {
+		blocks := group
+		if g == nGroups-1 {
+			blocks = len(msgs) - g*group
+		}
+		c := s.cfg.Device.SMs * maxInt(st.Occ.ResidentBlocksPerSM, 1)
+		gw := (blocks + c - 1) / c
+		fw := (len(msgs) + c - 1) / c
+		items = append(items, sched.Item{
+			Name:       "VERIFY",
+			DurationUs: st.DurationUs * float64(gw) / float64(fw),
+			Util:       minF(1, float64(blocks)/float64(c)),
+			Stream:     g % s.cfg.Streams,
+		})
+	}
+	mode := sched.Streams
+	if s.cfg.Features.Graph {
+		mode = sched.Graph
+	}
+	tl := sched.Run(s.cfg.Device, items, mode)
+
+	res := &VerifyResult{OK: ok, Kernel: st, Timeline: tl}
+	if tl.TotalUs > 0 {
+		res.ThroughputKOPS = float64(len(msgs)) / (tl.TotalUs / 1e6) / 1000
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

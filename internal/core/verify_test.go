@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// TestVerifyBatchAgreesWithReference: the GPU-simulated verifier must
+// accept exactly what spx.Verify accepts and reject what it rejects.
+func TestVerifyBatchAgreesWithReference(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+	s := signerFor(t, p, AllFeatures())
+
+	msgs := testMsgs(4)
+	res, err := s.SignBatch(sk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := res.Sigs
+
+	// Tamper with two of the four.
+	sigs[1] = append([]byte(nil), sigs[1]...)
+	sigs[1][100] ^= 1
+	sigs[3] = append([]byte(nil), sigs[3]...)
+	sigs[3][p.SigBytes-1] ^= 0x80
+
+	vres, err := s.VerifyBatch(&sk.PublicKey, msgs, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		refOK := spx.Verify(&sk.PublicKey, msgs[i], sigs[i]) == nil
+		if vres.OK[i] != refOK {
+			t.Errorf("message %d: gpu=%t reference=%t", i, vres.OK[i], refOK)
+		}
+	}
+	if vres.OK[0] != true || vres.OK[1] != false || vres.OK[2] != true || vres.OK[3] != false {
+		t.Fatalf("verdicts = %v", vres.OK)
+	}
+	if vres.ThroughputKOPS <= 0 {
+		t.Fatal("no modeled throughput")
+	}
+}
+
+// TestVerifyBatchAllSets covers 192f and 256f geometry (chain counts above
+// the block width exercise the chain loop).
+func TestVerifyBatchAllSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavier sets skipped in -short")
+	}
+	for _, p := range []*params.Params{params.SPHINCSPlus192f, params.SPHINCSPlus256f} {
+		sk := testKey(t, p)
+		s := signerFor(t, p, AllFeatures())
+		msgs := testMsgs(2)
+		res, err := s.SignBatch(sk, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vres, err := s.VerifyBatch(&sk.PublicKey, msgs, res.Sigs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ok := range vres.OK {
+			if !ok {
+				t.Errorf("%s: valid signature %d rejected", p.Name, i)
+			}
+		}
+	}
+}
+
+// TestVerifyBatchWrongKey: signatures under key A must fail under key B.
+func TestVerifyBatchWrongKey(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	skA := testKey(t, p)
+	skB, err := spx.KeyFromSeeds(p,
+		make([]byte, p.N), make([]byte, p.N), make([]byte, p.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := signerFor(t, p, AllFeatures())
+	msgs := testMsgs(2)
+	res, err := s.SignBatch(skA, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := s.VerifyBatch(&skB.PublicKey, msgs, res.Sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range vres.OK {
+		if ok {
+			t.Errorf("message %d verified under the wrong key", i)
+		}
+	}
+}
+
+// TestVerifyBatchValidation covers the input checks.
+func TestVerifyBatchValidation(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p)
+	s := signerFor(t, p, AllFeatures())
+	if _, err := s.VerifyBatch(&sk.PublicKey, testMsgs(2), [][]byte{{1}}); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+	if _, err := s.VerifyBatch(&sk.PublicKey, nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := [][]byte{make([]byte, 10)}
+	if _, err := s.VerifyBatch(&sk.PublicKey, testMsgs(1), bad); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	skWrong := testKey(t, params.SPHINCSPlus192f)
+	if _, err := s.VerifyBatch(&skWrong.PublicKey, testMsgs(1), bad); err == nil {
+		t.Fatal("mismatched parameter set accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Package cpuref provides the CPU-side comparators for the paper's Table X.
+//
+// The paper compares HERO-Sign against the AVX2 implementation of
+// SPHINCS+ [1] in single-threaded and 16-thread configurations. That code
+// and its Xeon testbed are outside this reproduction, so the table is
+// regenerated two ways:
+//
+//   - the paper's published AVX2 throughput numbers, embedded as constants;
+//   - a real measured multi-goroutine batch signer built on the pure-Go
+//     reference implementation, so the GPU-vs-CPU orders of magnitude can
+//     be checked against an actually-executed baseline on the build machine.
+package cpuref
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// PaperAVX2KOPS holds Table X's published throughput (kilo-signatures per
+// second) keyed by parameter-set name.
+var PaperAVX2KOPS = map[string]struct{ SingleThread, Threads16 float64 }{
+	"SPHINCS+-128f": {0.143, 0.828},
+	"SPHINCS+-192f": {0.087, 0.560},
+	"SPHINCS+-256f": {0.044, 0.356},
+}
+
+// Result reports one measured CPU batch run.
+type Result struct {
+	Params   *params.Params
+	Threads  int
+	Messages int
+	Elapsed  time.Duration
+	KOPS     float64
+}
+
+// SignBatch signs msgs with `threads` worker goroutines (threads <= 0
+// selects GOMAXPROCS) and reports measured throughput. Signatures are
+// returned in message order.
+func SignBatch(sk *spx.PrivateKey, msgs [][]byte, threads int) ([][]byte, *Result, error) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(msgs) {
+		threads = len(msgs)
+	}
+	sigs := make([][]byte, len(msgs))
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(msgs); i += threads {
+				sig, err := spx.Sign(sk, msgs[i], nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				sigs[i] = sig
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	res := &Result{
+		Params:   sk.Params,
+		Threads:  threads,
+		Messages: len(msgs),
+		Elapsed:  elapsed,
+		KOPS:     float64(len(msgs)) / elapsed.Seconds() / 1000,
+	}
+	return sigs, res, nil
+}

@@ -1,0 +1,76 @@
+package cpuref
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+func key(t testing.TB) *spx.PrivateKey {
+	t.Helper()
+	p := params.SPHINCSPlus128f
+	s := make([]byte, p.N)
+	for i := range s {
+		s[i] = byte(i)
+	}
+	sk, err := spx.KeyFromSeeds(p, s, s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// TestParallelMatchesSequential: the worker pool must produce exactly the
+// signatures sequential signing produces, in order.
+func TestParallelMatchesSequential(t *testing.T) {
+	sk := key(t)
+	msgs := make([][]byte, 7)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 'x'}
+	}
+	sigs, res, err := SignBatch(sk, msgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 4 || res.Messages != 7 || res.KOPS <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	for i, m := range msgs {
+		want, err := spx.Sign(sk, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sigs[i], want) {
+			t.Fatalf("message %d: parallel signature differs", i)
+		}
+	}
+}
+
+// TestThreadClamping: more workers than messages must not deadlock or skip.
+func TestThreadClamping(t *testing.T) {
+	sk := key(t)
+	msgs := [][]byte{[]byte("only one")}
+	sigs, res, err := SignBatch(sk, msgs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 1 || sigs[0] == nil {
+		t.Fatalf("threads = %d", res.Threads)
+	}
+	if err := spx.Verify(&sk.PublicKey, msgs[0], sigs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperConstantsPresent ensures Table X's published values are wired in
+// for all three -f sets.
+func TestPaperConstantsPresent(t *testing.T) {
+	for _, p := range params.FastSets() {
+		v, ok := PaperAVX2KOPS[p.Name]
+		if !ok || v.SingleThread <= 0 || v.Threads16 <= v.SingleThread {
+			t.Errorf("%s: AVX2 constants missing or inconsistent: %+v", p.Name, v)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package device models the NVIDIA GPUs used in the HERO-Sign evaluation
+// (paper Table VII): architectural resource limits, clocks and the
+// first-order throughput quantities the simulator's timing model consumes.
+//
+// The catalog values are the public architecture parameters for each chip.
+// Where the paper states a value explicitly (base clocks in Table VII, the
+// "64 KB shared memory per SM" remark for Pascal in §IV-F, "228 KB" for
+// Hopper), the paper's value is used.
+package device
+
+import "fmt"
+
+// Device describes one GPU model.
+type Device struct {
+	Name      string
+	Arch      string // microarchitecture name, e.g. "Ada"
+	SMVersion int    // compute capability × 10, e.g. 89 for sm_89
+
+	SMs            int // streaming multiprocessors
+	CUDACoresPerSM int
+	BaseClockMHz   int
+
+	MaxThreadsPerBlock int
+	MaxThreadsPerSM    int
+	MaxWarpsPerSM      int
+	MaxBlocksPerSM     int
+
+	RegistersPerSM      int // 32-bit registers per SM
+	RegAllocGranularity int // register allocation granularity per warp
+	MaxRegsPerThread    int
+
+	StaticSharedMemPerBlock int // classic 48 KB static limit
+	MaxSharedMemPerBlock    int // opt-in dynamic limit per block
+	SharedMemPerSM          int
+	ConstantMemBytes        int
+
+	WarpSize int
+
+	// IntIssueWarpsPerCycle is the number of warp-wide INT32 instructions an
+	// SM can issue per cycle. SHA-2 is a pure integer workload, so this —
+	// not the FP32 core count — bounds hash throughput.
+	IntIssueWarpsPerCycle float64
+
+	// LatencyHidingWarps is the number of concurrently resident active warps
+	// per SM needed to fully hide ALU latency for this architecture. Below
+	// it, issue efficiency degrades (the occupancy effect the paper's Eq. 1
+	// discussion builds on).
+	LatencyHidingWarps float64
+
+	// Launch overheads (microseconds). Stream launches pay
+	// KernelLaunchOverheadUs per kernel on the host; an instantiated graph
+	// pays GraphLaunchOverheadUs once plus GraphPerNodeOverheadUs per node
+	// on the device side.
+	KernelLaunchOverheadUs float64
+	GraphLaunchOverheadUs  float64
+	GraphPerNodeOverheadUs float64
+
+	MemBandwidthGBs float64
+	TDPWatts        float64
+}
+
+// ClockHz returns the base clock in Hz.
+func (d *Device) ClockHz() float64 { return float64(d.BaseClockMHz) * 1e6 }
+
+// CUDACores returns the total CUDA core count.
+func (d *Device) CUDACores() int { return d.SMs * d.CUDACoresPerSM }
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%s, sm_%d, %d SMs @ %d MHz)",
+		d.Name, d.Arch, d.SMVersion, d.SMs, d.BaseClockMHz)
+}
+
+// The evaluation platform catalog (paper Table VII). Launch-overhead values
+// are the commonly measured ~4-6 µs per stream launch and sub-µs graph node
+// cost; they are tuning constants of the model, not chip datasheet values.
+var (
+	GTX1070 = &Device{
+		Name: "GTX 1070", Arch: "Pascal", SMVersion: 61,
+		SMs: 15, CUDACoresPerSM: 128, BaseClockMHz: 1506,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 2048,
+		MaxWarpsPerSM: 64, MaxBlocksPerSM: 32,
+		RegistersPerSM: 65536, RegAllocGranularity: 256, MaxRegsPerThread: 255,
+		StaticSharedMemPerBlock: 48 * 1024, MaxSharedMemPerBlock: 48 * 1024,
+		SharedMemPerSM: 64 * 1024, ConstantMemBytes: 64 * 1024,
+		WarpSize:               32,
+		IntIssueWarpsPerCycle:  4, // Pascal's 128 unified cores issue INT32 at full rate
+		LatencyHidingWarps:     4,
+		KernelLaunchOverheadUs: 6.5, GraphLaunchOverheadUs: 8.0, GraphPerNodeOverheadUs: 0.35,
+		MemBandwidthGBs: 256, TDPWatts: 150,
+	}
+
+	V100 = &Device{
+		Name: "V100", Arch: "Volta", SMVersion: 70,
+		SMs: 80, CUDACoresPerSM: 64, BaseClockMHz: 1230,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 2048,
+		MaxWarpsPerSM: 64, MaxBlocksPerSM: 32,
+		RegistersPerSM: 65536, RegAllocGranularity: 256, MaxRegsPerThread: 255,
+		StaticSharedMemPerBlock: 48 * 1024, MaxSharedMemPerBlock: 96 * 1024,
+		SharedMemPerSM: 96 * 1024, ConstantMemBytes: 64 * 1024,
+		WarpSize:               32,
+		IntIssueWarpsPerCycle:  2,
+		LatencyHidingWarps:     3,
+		KernelLaunchOverheadUs: 5.5, GraphLaunchOverheadUs: 7.0, GraphPerNodeOverheadUs: 0.3,
+		MemBandwidthGBs: 900, TDPWatts: 300,
+	}
+
+	RTX2080Ti = &Device{
+		Name: "RTX 2080 Ti", Arch: "Turing", SMVersion: 75,
+		SMs: 68, CUDACoresPerSM: 64, BaseClockMHz: 1350,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 1024,
+		MaxWarpsPerSM: 32, MaxBlocksPerSM: 16,
+		RegistersPerSM: 65536, RegAllocGranularity: 256, MaxRegsPerThread: 255,
+		StaticSharedMemPerBlock: 48 * 1024, MaxSharedMemPerBlock: 64 * 1024,
+		SharedMemPerSM: 64 * 1024, ConstantMemBytes: 64 * 1024,
+		WarpSize:               32,
+		IntIssueWarpsPerCycle:  2,
+		LatencyHidingWarps:     3,
+		KernelLaunchOverheadUs: 5.0, GraphLaunchOverheadUs: 6.5, GraphPerNodeOverheadUs: 0.3,
+		MemBandwidthGBs: 616, TDPWatts: 250,
+	}
+
+	A100 = &Device{
+		Name: "A100", Arch: "Ampere", SMVersion: 80,
+		SMs: 108, CUDACoresPerSM: 64, BaseClockMHz: 1095,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 2048,
+		MaxWarpsPerSM: 64, MaxBlocksPerSM: 32,
+		RegistersPerSM: 65536, RegAllocGranularity: 256, MaxRegsPerThread: 255,
+		StaticSharedMemPerBlock: 48 * 1024, MaxSharedMemPerBlock: 163 * 1024,
+		SharedMemPerSM: 164 * 1024, ConstantMemBytes: 64 * 1024,
+		WarpSize:               32,
+		IntIssueWarpsPerCycle:  2,
+		LatencyHidingWarps:     3,
+		KernelLaunchOverheadUs: 4.5, GraphLaunchOverheadUs: 6.0, GraphPerNodeOverheadUs: 0.25,
+		MemBandwidthGBs: 1555, TDPWatts: 400,
+	}
+
+	RTX4090 = &Device{
+		Name: "RTX 4090", Arch: "Ada", SMVersion: 89,
+		SMs: 128, CUDACoresPerSM: 128, BaseClockMHz: 2235,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 1536,
+		MaxWarpsPerSM: 48, MaxBlocksPerSM: 24,
+		RegistersPerSM: 65536, RegAllocGranularity: 256, MaxRegsPerThread: 255,
+		StaticSharedMemPerBlock: 48 * 1024, MaxSharedMemPerBlock: 99 * 1024,
+		SharedMemPerSM: 100 * 1024, ConstantMemBytes: 64 * 1024,
+		WarpSize:               32,
+		IntIssueWarpsPerCycle:  2,
+		LatencyHidingWarps:     3,
+		KernelLaunchOverheadUs: 4.0, GraphLaunchOverheadUs: 5.0, GraphPerNodeOverheadUs: 0.2,
+		MemBandwidthGBs: 1008, TDPWatts: 450,
+	}
+
+	H100 = &Device{
+		Name: "H100", Arch: "Hopper", SMVersion: 90,
+		SMs: 132, CUDACoresPerSM: 128, BaseClockMHz: 1035,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 2048,
+		MaxWarpsPerSM: 64, MaxBlocksPerSM: 32,
+		RegistersPerSM: 65536, RegAllocGranularity: 256, MaxRegsPerThread: 255,
+		StaticSharedMemPerBlock: 48 * 1024, MaxSharedMemPerBlock: 227 * 1024,
+		SharedMemPerSM: 228 * 1024, ConstantMemBytes: 64 * 1024,
+		WarpSize:               32,
+		IntIssueWarpsPerCycle:  2,
+		LatencyHidingWarps:     3,
+		KernelLaunchOverheadUs: 4.0, GraphLaunchOverheadUs: 5.0, GraphPerNodeOverheadUs: 0.2,
+		MemBandwidthGBs: 2000, TDPWatts: 350,
+	}
+)
+
+// All lists the catalog in the paper's Table VII order.
+func All() []*Device {
+	return []*Device{GTX1070, V100, RTX2080Ti, A100, RTX4090, H100}
+}
+
+// ByName resolves a device by name (exact or architecture).
+func ByName(name string) (*Device, error) {
+	for _, d := range All() {
+		if d.Name == name || d.Arch == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("device: unknown GPU %q", name)
+}
+
+// KernelResources captures the per-kernel resource demands that determine
+// occupancy.
+type KernelResources struct {
+	ThreadsPerBlock   int
+	RegsPerThread     int
+	SharedMemPerBlock int  // bytes, physical (including any padding)
+	DynamicShared     bool // true when launched with opt-in dynamic shared memory
+}
+
+// Occupancy is the result of the occupancy calculation (paper Eq. 1,
+// extended with the shared-memory and block-slot limits the CUDA occupancy
+// calculator applies).
+type Occupancy struct {
+	ResidentBlocksPerSM int
+	ActiveWarpsPerSM    int
+	TheoreticalPct      float64 // active warps / max warps × 100
+	Limiter             string  // which resource bounds residency
+}
+
+// ComputeOccupancy applies the device resource limits to a kernel's demands.
+func ComputeOccupancy(d *Device, r KernelResources) Occupancy {
+	warpsPerBlock := (r.ThreadsPerBlock + d.WarpSize - 1) / d.WarpSize
+	if warpsPerBlock == 0 {
+		warpsPerBlock = 1
+	}
+
+	limit := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+
+	byThreads := d.MaxThreadsPerSM / (warpsPerBlock * d.WarpSize)
+	byWarps := d.MaxWarpsPerSM / warpsPerBlock
+	byBlocks := d.MaxBlocksPerSM
+
+	// Registers are allocated per warp at the allocation granularity.
+	regsPerWarp := roundUp(r.RegsPerThread*d.WarpSize, d.RegAllocGranularity)
+	byRegs := byBlocks
+	if r.RegsPerThread > 0 {
+		regsPerBlock := regsPerWarp * warpsPerBlock
+		byRegs = d.RegistersPerSM / regsPerBlock
+	}
+
+	bySmem := byBlocks
+	if r.SharedMemPerBlock > 0 {
+		capPerBlock := d.StaticSharedMemPerBlock
+		if r.DynamicShared {
+			capPerBlock = d.MaxSharedMemPerBlock
+		}
+		if r.SharedMemPerBlock > capPerBlock {
+			bySmem = 0
+		} else {
+			bySmem = d.SharedMemPerSM / r.SharedMemPerBlock
+		}
+	}
+
+	resident := min4(limit(byThreads), limit(byWarps), limit(byRegs), limit(bySmem))
+	if resident > byBlocks {
+		resident = byBlocks
+	}
+
+	limiter := "blocks"
+	switch resident {
+	case byThreads:
+		limiter = "threads"
+	case byWarps:
+		limiter = "warps"
+	case byRegs:
+		limiter = "registers"
+	case bySmem:
+		limiter = "shared memory"
+	}
+
+	active := resident * warpsPerBlock
+	return Occupancy{
+		ResidentBlocksPerSM: resident,
+		ActiveWarpsPerSM:    active,
+		TheoreticalPct:      100 * float64(active) / float64(d.MaxWarpsPerSM),
+		Limiter:             limiter,
+	}
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+func min4(a, b, c, d int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	if d < m {
+		m = d
+	}
+	return m
+}

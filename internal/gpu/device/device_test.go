@@ -1,0 +1,161 @@
+package device
+
+import "testing"
+
+// TestCatalogSanity checks structural invariants over every catalog entry.
+func TestCatalogSanity(t *testing.T) {
+	for _, d := range All() {
+		if d.SMs <= 0 || d.BaseClockMHz <= 0 || d.WarpSize != 32 {
+			t.Errorf("%s: implausible core fields", d.Name)
+		}
+		if d.MaxWarpsPerSM*d.WarpSize < d.MaxThreadsPerSM {
+			t.Errorf("%s: warp capacity below thread capacity", d.Name)
+		}
+		if d.MaxSharedMemPerBlock > d.SharedMemPerSM {
+			t.Errorf("%s: per-block shared memory exceeds per-SM", d.Name)
+		}
+		if d.StaticSharedMemPerBlock != 48*1024 {
+			t.Errorf("%s: static shared memory should be 48KB", d.Name)
+		}
+		if d.GraphPerNodeOverheadUs >= d.KernelLaunchOverheadUs {
+			t.Errorf("%s: graph node overhead should be far below stream launch", d.Name)
+		}
+	}
+}
+
+// TestTableVIIPlatforms verifies the catalog matches the paper's Table VII
+// (SM versions and base clocks).
+func TestTableVIIPlatforms(t *testing.T) {
+	cases := []struct {
+		dev   *Device
+		arch  string
+		smVer int
+		clock int
+	}{
+		{GTX1070, "Pascal", 61, 1506},
+		{V100, "Volta", 70, 1230},
+		{RTX2080Ti, "Turing", 75, 1350},
+		{A100, "Ampere", 80, 1095},
+		{RTX4090, "Ada", 89, 2235},
+		{H100, "Hopper", 90, 1035},
+	}
+	for _, c := range cases {
+		if c.dev.Arch != c.arch || c.dev.SMVersion != c.smVer || c.dev.BaseClockMHz != c.clock {
+			t.Errorf("%s: got (%s, sm_%d, %d MHz), want (%s, sm_%d, %d MHz)",
+				c.dev.Name, c.dev.Arch, c.dev.SMVersion, c.dev.BaseClockMHz,
+				c.arch, c.smVer, c.clock)
+		}
+	}
+}
+
+// TestPaperCoreCountClaims verifies the core-count facts the paper cites:
+// GTX 1070 has 1920 CUDA cores (§IV-F) and H100 has slightly more cores than
+// RTX 4090 (16,896 vs 16,384) while clocking much lower.
+func TestPaperCoreCountClaims(t *testing.T) {
+	if GTX1070.CUDACores() != 1920 {
+		t.Errorf("GTX 1070 cores = %d, want 1920", GTX1070.CUDACores())
+	}
+	if RTX4090.CUDACores() != 16384 {
+		t.Errorf("RTX 4090 cores = %d, want 16384", RTX4090.CUDACores())
+	}
+	if H100.CUDACores() != 16896 {
+		t.Errorf("H100 cores = %d, want 16896", H100.CUDACores())
+	}
+	if H100.BaseClockMHz >= RTX4090.BaseClockMHz {
+		t.Error("paper: RTX 4090 clocks 2.16x higher than H100")
+	}
+}
+
+// TestOccupancyFORSBaseline reproduces the paper's Table III theoretical
+// occupancy for FORS_Sign on RTX 4090: 64 regs/thread at 1024 threads/block
+// gives exactly one resident block (register-limited), 32 of 48 warps =
+// 66.67%.
+func TestOccupancyFORSBaseline(t *testing.T) {
+	occ := ComputeOccupancy(RTX4090, KernelResources{
+		ThreadsPerBlock: 1024, RegsPerThread: 64, SharedMemPerBlock: 33 * 1024, DynamicShared: false,
+	})
+	if occ.ResidentBlocksPerSM != 1 {
+		t.Fatalf("resident blocks = %d, want 1 (limiter %s)", occ.ResidentBlocksPerSM, occ.Limiter)
+	}
+	if occ.ActiveWarpsPerSM != 32 {
+		t.Fatalf("active warps = %d, want 32", occ.ActiveWarpsPerSM)
+	}
+	if got := occ.TheoreticalPct; got < 66.6 || got > 66.7 {
+		t.Fatalf("theoretical occupancy = %.2f%%, want 66.67%%", got)
+	}
+}
+
+// TestOccupancyRegisterBound checks that an over-demanding kernel cannot
+// launch: 128 regs/thread at 1024 threads needs 131,072 registers, double
+// the SM register file.
+func TestOccupancyRegisterBound(t *testing.T) {
+	occ := ComputeOccupancy(RTX4090, KernelResources{ThreadsPerBlock: 1024, RegsPerThread: 128})
+	if occ.ResidentBlocksPerSM != 0 {
+		t.Fatalf("resident blocks = %d, want 0", occ.ResidentBlocksPerSM)
+	}
+	if occ.Limiter != "registers" {
+		t.Fatalf("limiter = %s, want registers", occ.Limiter)
+	}
+}
+
+// TestOccupancySharedMemoryBound checks the shared-memory limiter and the
+// dynamic opt-in distinction (paper §III-B: 198 KB and 560 KB exceed the
+// 48 KB static limit).
+func TestOccupancySharedMemoryBound(t *testing.T) {
+	r := KernelResources{ThreadsPerBlock: 256, RegsPerThread: 32, SharedMemPerBlock: 60 * 1024}
+	if occ := ComputeOccupancy(RTX4090, r); occ.ResidentBlocksPerSM != 0 {
+		t.Fatalf("60KB static should not fit in 48KB limit, got %d blocks", occ.ResidentBlocksPerSM)
+	}
+	r.DynamicShared = true
+	occ := ComputeOccupancy(RTX4090, r)
+	if occ.ResidentBlocksPerSM != 1 {
+		t.Fatalf("60KB dynamic should fit once per SM (100KB), got %d", occ.ResidentBlocksPerSM)
+	}
+	if occ.Limiter != "shared memory" {
+		t.Fatalf("limiter = %s, want shared memory", occ.Limiter)
+	}
+}
+
+// TestOccupancyImprovesWithFewerRegs encodes the paper's §III-C example
+// shape: reducing TREE_Sign register pressure raises occupancy
+// (168 -> 95 regs per thread at 256 threads/block).
+func TestOccupancyImprovesWithFewerRegs(t *testing.T) {
+	hi := ComputeOccupancy(RTX4090, KernelResources{ThreadsPerBlock: 256, RegsPerThread: 168})
+	lo := ComputeOccupancy(RTX4090, KernelResources{ThreadsPerBlock: 256, RegsPerThread: 95})
+	if lo.ActiveWarpsPerSM <= hi.ActiveWarpsPerSM {
+		t.Fatalf("occupancy did not improve: %d -> %d active warps",
+			hi.ActiveWarpsPerSM, lo.ActiveWarpsPerSM)
+	}
+	ratio := lo.TheoreticalPct / hi.TheoreticalPct
+	if ratio < 1.5 {
+		t.Fatalf("expected a large occupancy gain, got %.2fx", ratio)
+	}
+}
+
+// TestByName covers lookup by name and by architecture.
+func TestByName(t *testing.T) {
+	d, err := ByName("RTX 4090")
+	if err != nil || d != RTX4090 {
+		t.Fatalf("ByName(RTX 4090) = %v, %v", d, err)
+	}
+	d, err = ByName("Hopper")
+	if err != nil || d != H100 {
+		t.Fatalf("ByName(Hopper) = %v, %v", d, err)
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Fatal("expected error for unknown device")
+	}
+}
+
+// TestOccupancyMonotonicInThreads sanity-checks that at fixed registers,
+// larger blocks never increase resident block count.
+func TestOccupancyMonotonicInThreads(t *testing.T) {
+	prev := 1 << 30
+	for _, threads := range []int{64, 128, 256, 512, 1024} {
+		occ := ComputeOccupancy(RTX4090, KernelResources{ThreadsPerBlock: threads, RegsPerThread: 40})
+		if occ.ResidentBlocksPerSM > prev {
+			t.Fatalf("resident blocks increased with block size at %d threads", threads)
+		}
+		prev = occ.ResidentBlocksPerSM
+	}
+}

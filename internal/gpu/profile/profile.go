@@ -1,0 +1,106 @@
+// Package profile renders Nsight-Compute-style reports from simulator
+// kernel statistics: occupancy section, compute/memory throughput section,
+// shared-memory traffic with bank-conflict counts, and the launch
+// configuration — the quantities the paper reads off Nsight in Tables III,
+// VI and VIII.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/gpu/sim"
+)
+
+// Report is a structured per-kernel profile.
+type Report struct {
+	Kernel string
+	Device string
+
+	// Launch configuration.
+	Blocks          int
+	ThreadsPerBlock int
+	RegsPerThread   int
+	SharedMemBytes  int
+
+	// Occupancy section.
+	TheoreticalOccupancyPct float64
+	AchievedOccupancyPct    float64
+	ResidentBlocksPerSM     int
+	OccupancyLimiter        string
+
+	// Throughput section.
+	DurationUs           float64
+	ComputeThroughputPct float64
+	MemoryThroughputPct  float64
+	Compressions         int64
+
+	// Memory workload section.
+	SharedLoadTransactions  int64
+	SharedStoreTransactions int64
+	SharedLoadConflicts     int64
+	SharedStoreConflicts    int64
+	GlobalReadBytes         int64
+	GlobalWriteBytes        int64
+	ConstantReadBytes       int64
+	Barriers                int64
+}
+
+// FromStats builds a Report from a kernel run.
+func FromStats(d *device.Device, st *sim.Stats) *Report {
+	return &Report{
+		Kernel: st.Name, Device: d.Name,
+		Blocks: st.Blocks, ThreadsPerBlock: st.ThreadsPerBlock,
+		RegsPerThread: st.RegsPerThread, SharedMemBytes: st.SharedMemBytes,
+		TheoreticalOccupancyPct: st.Occ.TheoreticalPct,
+		AchievedOccupancyPct:    st.AchievedOccupancyPct,
+		ResidentBlocksPerSM:     st.Occ.ResidentBlocksPerSM,
+		OccupancyLimiter:        st.Occ.Limiter,
+		DurationUs:              st.DurationUs,
+		ComputeThroughputPct:    st.ComputeThroughputPct,
+		MemoryThroughputPct:     st.MemoryThroughputPct,
+		Compressions:            st.Compress,
+		SharedLoadTransactions:  st.Shmem.LoadTransactions,
+		SharedStoreTransactions: st.Shmem.StoreTransactions,
+		SharedLoadConflicts:     st.Shmem.LoadConflicts,
+		SharedStoreConflicts:    st.Shmem.StoreConflicts,
+		GlobalReadBytes:         st.GlobalRead,
+		GlobalWriteBytes:        st.GlobalWrite,
+		ConstantReadBytes:       st.ConstRead,
+		Barriers:                st.Syncs,
+	}
+}
+
+// Render writes the report in an Nsight-like sectioned layout.
+func (r *Report) Render(w io.Writer) {
+	rule := strings.Repeat("-", 64)
+	fmt.Fprintf(w, "%s\n", rule)
+	fmt.Fprintf(w, "Kernel: %s  [%s]\n", r.Kernel, r.Device)
+	fmt.Fprintf(w, "%s\n", rule)
+	fmt.Fprintf(w, "Launch Configuration\n")
+	fmt.Fprintf(w, "  Grid Size (blocks)              %12d\n", r.Blocks)
+	fmt.Fprintf(w, "  Block Size (threads)            %12d\n", r.ThreadsPerBlock)
+	fmt.Fprintf(w, "  Registers Per Thread            %12d\n", r.RegsPerThread)
+	fmt.Fprintf(w, "  Static Shared Memory Per Block  %12d B\n", r.SharedMemBytes)
+	fmt.Fprintf(w, "Occupancy\n")
+	fmt.Fprintf(w, "  Theoretical Occupancy           %11.2f %%\n", r.TheoreticalOccupancyPct)
+	fmt.Fprintf(w, "  Achieved (active-warp) Occ.     %11.2f %%\n", r.AchievedOccupancyPct)
+	fmt.Fprintf(w, "  Resident Blocks Per SM          %12d  (limiter: %s)\n",
+		r.ResidentBlocksPerSM, r.OccupancyLimiter)
+	fmt.Fprintf(w, "GPU Speed Of Light\n")
+	fmt.Fprintf(w, "  Duration                        %11.2f us\n", r.DurationUs)
+	fmt.Fprintf(w, "  Compute (SM) Throughput         %11.2f %%\n", r.ComputeThroughputPct)
+	fmt.Fprintf(w, "  Memory Throughput               %11.2f %%\n", r.MemoryThroughputPct)
+	fmt.Fprintf(w, "  SHA-256 Compressions            %12d\n", r.Compressions)
+	fmt.Fprintf(w, "Memory Workload Analysis\n")
+	fmt.Fprintf(w, "  Shared Load  Transactions       %12d  (conflicts %d)\n",
+		r.SharedLoadTransactions, r.SharedLoadConflicts)
+	fmt.Fprintf(w, "  Shared Store Transactions       %12d  (conflicts %d)\n",
+		r.SharedStoreTransactions, r.SharedStoreConflicts)
+	fmt.Fprintf(w, "  Global Read / Write             %10d B / %d B\n",
+		r.GlobalReadBytes, r.GlobalWriteBytes)
+	fmt.Fprintf(w, "  Constant Read                   %12d B\n", r.ConstantReadBytes)
+	fmt.Fprintf(w, "  Barriers (__syncthreads)        %12d\n", r.Barriers)
+}

@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/gpu/shmem"
+	"herosign/internal/gpu/sim"
+)
+
+func sampleStats() *sim.Stats {
+	return &sim.Stats{
+		Name: "FORS_Sign", Blocks: 1024, ThreadsPerBlock: 704,
+		RegsPerThread: 48, SharedMemBytes: 33 * 1024,
+		Occ: device.Occupancy{
+			ResidentBlocksPerSM: 1, ActiveWarpsPerSM: 22,
+			TheoreticalPct: 45.83, Limiter: "registers",
+		},
+		Compress: 6_500_000, DurationUs: 812.5,
+		ComputeThroughputPct: 62.1, MemoryThroughputPct: 4.2,
+		AchievedOccupancyPct: 28.4,
+		Shmem: shmem.Stats{
+			LoadTransactions: 120000, StoreTransactions: 60000,
+			LoadConflicts: 500, StoreConflicts: 250,
+		},
+		GlobalRead: 1 << 20, GlobalWrite: 1 << 18, ConstRead: 1 << 16,
+		Syncs: 7168,
+	}
+}
+
+// TestFromStatsFieldMapping checks every field lands where it should.
+func TestFromStatsFieldMapping(t *testing.T) {
+	r := FromStats(device.RTX4090, sampleStats())
+	if r.Kernel != "FORS_Sign" || r.Device != "RTX 4090" {
+		t.Fatal("identity fields")
+	}
+	if r.TheoreticalOccupancyPct != 45.83 || r.AchievedOccupancyPct != 28.4 {
+		t.Fatal("occupancy fields")
+	}
+	if r.SharedLoadConflicts != 500 || r.SharedStoreConflicts != 250 {
+		t.Fatal("conflict fields")
+	}
+	if r.GlobalReadBytes != 1<<20 || r.ConstantReadBytes != 1<<16 {
+		t.Fatal("traffic fields")
+	}
+	if r.OccupancyLimiter != "registers" {
+		t.Fatal("limiter field")
+	}
+}
+
+// TestRenderSections checks the report contains every Nsight-like section
+// and the headline numbers.
+func TestRenderSections(t *testing.T) {
+	var sb strings.Builder
+	FromStats(device.RTX4090, sampleStats()).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Kernel: FORS_Sign", "Launch Configuration", "Occupancy",
+		"GPU Speed Of Light", "Memory Workload Analysis",
+		"45.83", "28.40", "812.50", "conflicts 500", "registers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package sched schedules kernel launches onto the simulated device, either
+// as host-dispatched stream launches or as an instantiated task graph (the
+// CUDA Graph analogue of HERO-Sign §III-F).
+//
+// The model captures the two effects the paper builds on:
+//
+//  1. Host launch overhead. A stream launch costs the host
+//     KernelLaunchOverheadUs per kernel, and dispatches serialize on the
+//     host thread — with hundreds of launches this dominates small kernels.
+//     An instantiated graph pays one launch plus a tiny per-node device-side
+//     cost.
+//  2. Device idle time. Kernels occupy a fraction of the device
+//     (Utilization = resident blocks they can actually spread over the SMs);
+//     dependencies and stream serialization leave capacity unused, which the
+//     scheduler integrates as idle time.
+//
+// Execution is event-driven with proportional capacity sharing: at any
+// instant, running kernels receive device capacity min(their utilization,
+// fair share), which models concurrent kernel execution across streams the
+// way the hardware work distributor does at first order.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"herosign/internal/gpu/device"
+)
+
+// Item is one kernel launch to schedule.
+type Item struct {
+	Name       string
+	DurationUs float64 // exclusive-occupancy duration from sim.Stats
+	Util       float64 // device fraction the kernel can use, (0,1]
+	Stream     int     // stream id; launches on one stream serialize in order
+	Deps       []int   // indices of items that must finish first
+}
+
+// Mode selects the dispatch mechanism.
+type Mode int
+
+const (
+	// Streams dispatches every launch from the host (traditional
+	// multi-stream submission).
+	Streams Mode = iota
+	// Graph executes a pre-instantiated task graph: one host launch, then
+	// device-side scheduling (instantiation time excluded, as in Fig. 12).
+	Graph
+)
+
+// Span records one kernel's scheduled interval.
+type Span struct {
+	Name     string
+	StartUs  float64
+	FinishUs float64
+}
+
+// Timeline is the scheduling result.
+type Timeline struct {
+	TotalUs          float64
+	LaunchOverheadUs float64 // total host+device dispatch overhead
+	IdleUs           float64 // integrated unused capacity before last finish
+	Spans            []Span
+}
+
+type runState struct {
+	remaining float64 // device-microseconds of work left (duration × util)
+	readyAt   float64
+	started   bool
+	startUs   float64
+	finished  bool
+	finishUs  float64
+}
+
+// Run schedules items on d under the given mode.
+func Run(d *device.Device, items []Item, mode Mode) Timeline {
+	n := len(items)
+	if n == 0 {
+		return Timeline{}
+	}
+	st := make([]runState, n)
+
+	// Host dispatch completion time per item.
+	var launchOverhead float64
+	dispatchDone := make([]float64, n)
+	switch mode {
+	case Streams:
+		for i := range items {
+			launchOverhead += d.KernelLaunchOverheadUs
+			dispatchDone[i] = launchOverhead
+		}
+	case Graph:
+		launchOverhead = d.GraphLaunchOverheadUs + float64(n)*d.GraphPerNodeOverheadUs
+		for i := range items {
+			// The whole graph is submitted at once; nodes become available
+			// after the single launch plus their (tiny) node setup cost.
+			dispatchDone[i] = d.GraphLaunchOverheadUs + d.GraphPerNodeOverheadUs
+		}
+	}
+
+	for i, it := range items {
+		u := it.Util
+		if u <= 0 {
+			u = 1
+		} else if u > 1 {
+			u = 1
+		}
+		st[i].remaining = it.DurationUs * u
+		st[i].readyAt = math.Inf(1)
+	}
+
+	streamPrev := map[int]int{} // stream -> index of previous item
+	prevInStream := make([]int, n)
+	for i := range items {
+		prevInStream[i] = -1
+		if p, ok := streamPrev[items[i].Stream]; ok {
+			prevInStream[i] = p
+		}
+		streamPrev[items[i].Stream] = i
+	}
+
+	ready := func(i int, now float64) (bool, float64) {
+		t := dispatchDone[i]
+		if p := prevInStream[i]; p >= 0 {
+			if !st[p].finished {
+				return false, math.Inf(1)
+			}
+			if st[p].finishUs > t {
+				t = st[p].finishUs
+			}
+		}
+		for _, dep := range items[i].Deps {
+			if !st[dep].finished {
+				return false, math.Inf(1)
+			}
+			if st[dep].finishUs > t {
+				t = st[dep].finishUs
+			}
+		}
+		return true, t
+	}
+
+	now := 0.0
+	var idle float64
+	finishedCount := 0
+	for finishedCount < n {
+		// Determine running set and next ready times.
+		var running []int
+		nextEvent := math.Inf(1)
+		for i := range items {
+			if st[i].finished {
+				continue
+			}
+			ok, at := ready(i, now)
+			if ok && at <= now {
+				running = append(running, i)
+			} else if ok && at < nextEvent {
+				nextEvent = at
+			}
+		}
+		if len(running) == 0 {
+			if math.IsInf(nextEvent, 1) {
+				panic(fmt.Sprintf("sched: deadlock with %d/%d items finished", finishedCount, n))
+			}
+			idle += nextEvent - now
+			now = nextEvent
+			continue
+		}
+
+		// Water-filling capacity allocation capped at each item's util.
+		alloc := allocate(items, running)
+
+		// Advance to the earliest completion or readiness change.
+		dt := nextEvent - now
+		for _, i := range running {
+			if alloc[i] <= 0 {
+				continue
+			}
+			t := st[i].remaining / alloc[i]
+			if t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) || dt <= 0 {
+			dt = 1e-9
+		}
+
+		used := 0.0
+		for _, i := range running {
+			if !st[i].started {
+				st[i].started = true
+				st[i].startUs = now
+			}
+			st[i].remaining -= alloc[i] * dt
+			used += alloc[i]
+		}
+		if used < 1 {
+			idle += (1 - used) * dt
+		}
+		now += dt
+		for _, i := range running {
+			if st[i].remaining <= 1e-9 && !st[i].finished {
+				st[i].finished = true
+				st[i].finishUs = now
+				finishedCount++
+			}
+		}
+	}
+
+	spans := make([]Span, n)
+	for i := range items {
+		spans[i] = Span{Name: items[i].Name, StartUs: st[i].startUs, FinishUs: st[i].finishUs}
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].StartUs < spans[b].StartUs })
+	return Timeline{
+		TotalUs:          now,
+		LaunchOverheadUs: launchOverhead,
+		IdleUs:           idle,
+		Spans:            spans,
+	}
+}
+
+// allocate distributes one unit of device capacity among running items,
+// capping each at its utilization bound, redistributing leftovers.
+func allocate(items []Item, running []int) map[int]float64 {
+	alloc := make(map[int]float64, len(running))
+	remainingCap := 1.0
+	unsat := append([]int(nil), running...)
+	for len(unsat) > 0 && remainingCap > 1e-12 {
+		share := remainingCap / float64(len(unsat))
+		var next []int
+		progressed := false
+		for _, i := range unsat {
+			u := items[i].Util
+			if u <= 0 || u > 1 {
+				u = 1
+			}
+			need := u - alloc[i]
+			grant := math.Min(share, need)
+			if grant > 0 {
+				alloc[i] += grant
+				remainingCap -= grant
+				progressed = true
+			}
+			if alloc[i] < u-1e-12 {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"herosign/internal/gpu/device"
+)
+
+// TestSingleKernel schedules one saturating kernel.
+func TestSingleKernel(t *testing.T) {
+	tl := Run(device.RTX4090, []Item{{Name: "k", DurationUs: 100, Util: 1}}, Streams)
+	want := device.RTX4090.KernelLaunchOverheadUs + 100
+	if math.Abs(tl.TotalUs-want) > 0.5 {
+		t.Fatalf("total = %.2f, want %.2f", tl.TotalUs, want)
+	}
+	if len(tl.Spans) != 1 || tl.Spans[0].StartUs < device.RTX4090.KernelLaunchOverheadUs {
+		t.Fatalf("span = %+v", tl.Spans)
+	}
+}
+
+// TestStreamSerialization: two kernels on one stream run back to back; on
+// two streams with Util 0.5 they overlap.
+func TestStreamSerialization(t *testing.T) {
+	d := device.RTX4090
+	same := Run(d, []Item{
+		{Name: "a", DurationUs: 100, Util: 0.5, Stream: 0},
+		{Name: "b", DurationUs: 100, Util: 0.5, Stream: 0},
+	}, Streams)
+	diff := Run(d, []Item{
+		{Name: "a", DurationUs: 100, Util: 0.5, Stream: 0},
+		{Name: "b", DurationUs: 100, Util: 0.5, Stream: 1},
+	}, Streams)
+	if diff.TotalUs >= same.TotalUs-20 {
+		t.Fatalf("multi-stream overlap missing: same=%.1f diff=%.1f", same.TotalUs, diff.TotalUs)
+	}
+}
+
+// TestSaturatingKernelsCannotOverlap: two Util=1 kernels on two streams take
+// the sum of durations — stream parallelism cannot create capacity.
+func TestSaturatingKernelsCannotOverlap(t *testing.T) {
+	d := device.RTX4090
+	tl := Run(d, []Item{
+		{Name: "a", DurationUs: 100, Util: 1, Stream: 0},
+		{Name: "b", DurationUs: 100, Util: 1, Stream: 1},
+	}, Streams)
+	if tl.TotalUs < 200 {
+		t.Fatalf("got %.1fus for 200us of saturating work", tl.TotalUs)
+	}
+}
+
+// TestDependencies: a dependent kernel cannot start before its producer
+// finishes (the WOTS-after-FORS/TREE pattern).
+func TestDependencies(t *testing.T) {
+	d := device.RTX4090
+	tl := Run(d, []Item{
+		{Name: "fors", DurationUs: 50, Util: 0.4, Stream: 0},
+		{Name: "tree", DurationUs: 80, Util: 0.4, Stream: 1},
+		{Name: "wots", DurationUs: 30, Util: 0.4, Stream: 0, Deps: []int{0, 1}},
+	}, Streams)
+	var wotsStart, treeFinish float64
+	for _, s := range tl.Spans {
+		switch s.Name {
+		case "wots":
+			wotsStart = s.StartUs
+		case "tree":
+			treeFinish = s.FinishUs
+		}
+	}
+	if wotsStart < treeFinish {
+		t.Fatalf("wots started at %.1f before tree finished at %.1f", wotsStart, treeFinish)
+	}
+}
+
+// TestGraphReducesLaunchOverhead is the paper's Fig. 12 headline: for many
+// small kernels, graph dispatch removes nearly all launch overhead (the
+// paper reports up to 221x).
+func TestGraphReducesLaunchOverhead(t *testing.T) {
+	d := device.RTX4090
+	var items []Item
+	for i := 0; i < 300; i++ {
+		items = append(items, Item{Name: "k", DurationUs: 2, Util: 1, Stream: i % 4})
+	}
+	st := Run(d, items, Streams)
+	gr := Run(d, items, Graph)
+	if st.LaunchOverheadUs < 300*d.KernelLaunchOverheadUs-1 {
+		t.Fatalf("stream overhead = %.1f", st.LaunchOverheadUs)
+	}
+	ratio := st.LaunchOverheadUs / gr.LaunchOverheadUs
+	if ratio < 10 {
+		t.Fatalf("graph overhead reduction only %.1fx", ratio)
+	}
+	if gr.TotalUs >= st.TotalUs {
+		t.Fatal("graph scheduling not faster end-to-end")
+	}
+}
+
+// TestIdleAccounting: a dependency chain of half-utilization kernels leaves
+// capacity idle, and the scheduler must report it.
+func TestIdleAccounting(t *testing.T) {
+	d := device.RTX4090
+	tl := Run(d, []Item{
+		{Name: "a", DurationUs: 100, Util: 0.5, Stream: 0},
+		{Name: "b", DurationUs: 100, Util: 0.5, Stream: 0, Deps: []int{0}},
+	}, Graph)
+	if tl.IdleUs < 80 {
+		t.Fatalf("idle = %.1f, expected ~half the device idle across the chain", tl.IdleUs)
+	}
+}
+
+// TestEmpty handles the degenerate case.
+func TestEmpty(t *testing.T) {
+	tl := Run(device.RTX4090, nil, Streams)
+	if tl.TotalUs != 0 || len(tl.Spans) != 0 {
+		t.Fatalf("empty schedule = %+v", tl)
+	}
+}
+
+// TestDeterminism: identical inputs yield identical timelines.
+func TestDeterminism(t *testing.T) {
+	d := device.H100
+	items := []Item{
+		{Name: "a", DurationUs: 33.3, Util: 0.7, Stream: 0},
+		{Name: "b", DurationUs: 21.1, Util: 0.6, Stream: 1},
+		{Name: "c", DurationUs: 55.5, Util: 1.0, Stream: 2, Deps: []int{0}},
+		{Name: "d", DurationUs: 13.7, Util: 0.2, Stream: 1, Deps: []int{1, 2}},
+	}
+	a := Run(d, items, Streams)
+	b := Run(d, items, Streams)
+	if a.TotalUs != b.TotalUs || a.IdleUs != b.IdleUs {
+		t.Fatalf("nondeterministic schedule: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,396 @@
+// Package sim is the SIMT kernel simulator at the heart of the reproduction.
+//
+// A kernel launch executes a *block program* once per thread block (the
+// paper assigns one block per message). Block programs do real work — they
+// compute actual SPHINCS+ bytes through internal/spx primitives — while the
+// engine records the quantities a GPU's performance is determined by at
+// first order:
+//
+//   - per-thread SHA-256 compression counts, aggregated warp-synchronously
+//     (a warp advances at the pace of its slowest lane);
+//   - shared-memory transactions and bank-conflict wavefronts, from the
+//     actual byte addresses touched (internal/gpu/shmem);
+//   - barrier counts, global/constant-memory traffic.
+//
+// Timing is then derived analytically:
+//
+//	occupancy        per device.ComputeOccupancy (paper Eq. 1 + smem/block caps)
+//	issue efficiency eff = aw / (aw + LatencyHidingWarps), aw = concurrently
+//	                 resident *active* warps per SM — low-occupancy or
+//	                 partially-idle phases issue at reduced efficiency
+//	compute cycles   Σ_phase warpWork / (usedSMs × IntIssue × eff_phase)
+//	shmem cycles     wavefronts / (usedSMs × 1 per cycle)
+//	sync cycles      barriers × SyncCycles / usedSMs
+//	duration         max(computeTime, dramTime) (+ graph/stream overhead is
+//	                 applied by the scheduler, not here)
+//
+// The model is deterministic: no wall-clock measurement feeds any reported
+// metric.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/gpu/shmem"
+	"herosign/internal/spx/hashes"
+)
+
+// SyncCycles is the modeled cost of one __syncthreads barrier in SM cycles.
+const SyncCycles = 32.0
+
+// Launch describes a kernel launch.
+type Launch struct {
+	Name            string
+	Blocks          int
+	ThreadsPerBlock int
+	RegsPerThread   int
+
+	// SharedLogicalBytes and SharedPadding size the per-block shared
+	// memory; the engine allocates a shmem.Memory per block and charges the
+	// physical (padded) footprint against the device limits.
+	SharedLogicalBytes int
+	SharedPadding      shmem.Padding
+	DynamicShared      bool
+
+	// CyclesPerCompress converts one SHA-256 compression into warp issue
+	// cycles; it comes from the PTX/native schedule (internal/ptx).
+	CyclesPerCompress float64
+
+	// Body runs once per simulated block.
+	Body func(b *Block)
+}
+
+// Block is the execution context handed to a block program.
+type Block struct {
+	Idx     int
+	Threads int
+	Shared  *shmem.Memory
+
+	threadCounters []hashes.Counters
+	lastCompress   []int64
+	phases         []phase
+	syncs          int64
+	globalRead     int64
+	globalWrite    int64
+	constRead      int64
+}
+
+// phase is one warp-synchronous region created by a For call.
+type phase struct {
+	activeThreads int
+	warpCompress  int64 // Σ over warps of max-lane compression delta
+}
+
+// ThreadCounter returns the hash counter of thread tid; block programs
+// attach it to a hashes.Ctx (via Ctx.Clone) so every hash call is charged
+// to the right lane.
+func (b *Block) ThreadCounter(tid int) *hashes.Counters {
+	return &b.threadCounters[tid]
+}
+
+// For runs fn for tid in [0, active) as one warp-synchronous phase and
+// records the per-warp work performed inside. Threads map to warps in the
+// CUDA way: warp w owns lanes [32w, 32w+32).
+func (b *Block) For(active int, fn func(tid int)) {
+	if active > b.Threads {
+		panic(fmt.Sprintf("sim: For(%d) exceeds block size %d", active, b.Threads))
+	}
+	for tid := 0; tid < active; tid++ {
+		fn(tid)
+	}
+	var warpWork int64
+	for w := 0; w*32 < active; w++ {
+		var maxDelta int64
+		hi := (w + 1) * 32
+		if hi > active {
+			hi = active
+		}
+		for tid := w * 32; tid < hi; tid++ {
+			delta := b.threadCounters[tid].Compress256 - b.lastCompress[tid]
+			b.lastCompress[tid] = b.threadCounters[tid].Compress256
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+		warpWork += maxDelta
+	}
+	b.phases = append(b.phases, phase{activeThreads: active, warpCompress: warpWork})
+}
+
+// Sync models __syncthreads: settles pending shared-memory warps and counts
+// the barrier.
+func (b *Block) Sync() {
+	if b.Shared != nil {
+		b.Shared.Settle()
+	}
+	b.syncs++
+}
+
+// GlobalRead charges n bytes of device-memory read traffic.
+func (b *Block) GlobalRead(n int) { b.globalRead += int64(n) }
+
+// GlobalWrite charges n bytes of device-memory write traffic.
+func (b *Block) GlobalWrite(n int) { b.globalWrite += int64(n) }
+
+// ConstRead charges n bytes of constant-memory traffic (broadcast;
+// effectively on-chip once cached, so it contributes no DRAM time but is
+// reported for the HybridME analysis).
+func (b *Block) ConstRead(n int) { b.constRead += int64(n) }
+
+// Stats is the aggregated result of one kernel launch.
+type Stats struct {
+	Name            string
+	Blocks          int
+	ThreadsPerBlock int
+	RegsPerThread   int
+	SharedMemBytes  int // physical, per block
+
+	Occ device.Occupancy
+
+	Compress    int64 // total SHA-256 compressions (all lanes)
+	WarpCycles  float64
+	Syncs       int64
+	Shmem       shmem.Stats
+	GlobalRead  int64
+	GlobalWrite int64
+	ConstRead   int64
+
+	// Derived timing and Nsight-style metrics.
+	DurationUs           float64
+	ComputeThroughputPct float64
+	MemoryThroughputPct  float64
+	AchievedOccupancyPct float64 // time-weighted active warps / max warps
+	SampledBlocks        int     // functional blocks executed (== Blocks when unsampled)
+}
+
+// phaseAgg accumulates one phase index across blocks.
+type phaseAgg struct {
+	activeThreads int
+	warpCompress  int64
+	blocks        int
+}
+
+// Engine runs kernels against a device model.
+type Engine struct {
+	Dev *device.Device
+
+	// SampleBlocks, when > 0, limits functional execution to that many
+	// blocks and scales counters by Blocks/Sampled. Valid only when every
+	// block performs statistically identical work (one message per block,
+	// which holds for all kernels here). Zero executes every block.
+	SampleBlocks int
+
+	// Workers bounds the goroutines used for functional execution.
+	// Zero means GOMAXPROCS.
+	Workers int
+}
+
+// New returns an engine for the device with full (unsampled) execution.
+func New(d *device.Device) *Engine { return &Engine{Dev: d} }
+
+// Run executes the launch and returns aggregated stats.
+func (e *Engine) Run(l *Launch) (*Stats, error) {
+	d := e.Dev
+	if l.ThreadsPerBlock <= 0 || l.ThreadsPerBlock > d.MaxThreadsPerBlock {
+		return nil, fmt.Errorf("sim: %s: threads per block %d out of range", l.Name, l.ThreadsPerBlock)
+	}
+	if l.Blocks <= 0 {
+		return nil, fmt.Errorf("sim: %s: no blocks", l.Name)
+	}
+	physShared := 0
+	if l.SharedLogicalBytes > 0 {
+		physShared = shmem.New(l.SharedLogicalBytes, l.SharedPadding).PhysicalSize()
+	}
+	res := device.KernelResources{
+		ThreadsPerBlock:   l.ThreadsPerBlock,
+		RegsPerThread:     l.RegsPerThread,
+		SharedMemPerBlock: physShared,
+		DynamicShared:     l.DynamicShared,
+	}
+	occ := device.ComputeOccupancy(d, res)
+	if occ.ResidentBlocksPerSM == 0 {
+		return nil, fmt.Errorf("sim: %s: kernel does not fit on %s (limiter: %s)", l.Name, d.Name, occ.Limiter)
+	}
+
+	execBlocks := l.Blocks
+	if e.SampleBlocks > 0 && execBlocks > e.SampleBlocks {
+		execBlocks = e.SampleBlocks
+	}
+	scale := float64(l.Blocks) / float64(execBlocks)
+
+	blocks := make([]*Block, execBlocks)
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > execBlocks {
+		workers = execBlocks
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, execBlocks)
+	for i := 0; i < execBlocks; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				b := &Block{
+					Idx:            i,
+					Threads:        l.ThreadsPerBlock,
+					threadCounters: make([]hashes.Counters, l.ThreadsPerBlock),
+					lastCompress:   make([]int64, l.ThreadsPerBlock),
+				}
+				if l.SharedLogicalBytes > 0 {
+					b.Shared = shmem.New(l.SharedLogicalBytes, l.SharedPadding)
+				}
+				l.Body(b)
+				if b.Shared != nil {
+					b.Shared.Settle()
+				}
+				blocks[i] = b
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Aggregate.
+	st := &Stats{
+		Name:            l.Name,
+		Blocks:          l.Blocks,
+		ThreadsPerBlock: l.ThreadsPerBlock,
+		RegsPerThread:   l.RegsPerThread,
+		SharedMemBytes:  physShared,
+		Occ:             occ,
+		SampledBlocks:   execBlocks,
+	}
+	var aggs []phaseAgg
+	for _, b := range blocks {
+		for pi, p := range b.phases {
+			if pi >= len(aggs) {
+				aggs = append(aggs, phaseAgg{activeThreads: p.activeThreads})
+			}
+			aggs[pi].warpCompress += p.warpCompress
+			aggs[pi].blocks++
+			if p.activeThreads > aggs[pi].activeThreads {
+				aggs[pi].activeThreads = p.activeThreads
+			}
+		}
+		st.Syncs += b.syncs
+		st.GlobalRead += b.globalRead
+		st.GlobalWrite += b.globalWrite
+		st.ConstRead += b.constRead
+		if b.Shared != nil {
+			st.Shmem.Add(b.Shared.Stats())
+		}
+		for t := range b.threadCounters {
+			st.Compress += b.threadCounters[t].Compress256
+		}
+	}
+	// Scale sampled counters up to the full grid.
+	st.Syncs = int64(float64(st.Syncs) * scale)
+	st.GlobalRead = int64(float64(st.GlobalRead) * scale)
+	st.GlobalWrite = int64(float64(st.GlobalWrite) * scale)
+	st.ConstRead = int64(float64(st.ConstRead) * scale)
+	st.Compress = int64(float64(st.Compress) * scale)
+	st.Shmem.LoadTransactions = int64(float64(st.Shmem.LoadTransactions) * scale)
+	st.Shmem.StoreTransactions = int64(float64(st.Shmem.StoreTransactions) * scale)
+	st.Shmem.LoadConflicts = int64(float64(st.Shmem.LoadConflicts) * scale)
+	st.Shmem.StoreConflicts = int64(float64(st.Shmem.StoreConflicts) * scale)
+
+	e.applyTiming(l, st, aggs, scale)
+	return st, nil
+}
+
+// MustRun is Run that panics on configuration errors; used by benches.
+func (e *Engine) MustRun(l *Launch) *Stats {
+	st, err := e.Run(l)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// applyTiming derives the modeled duration and Nsight-style metrics.
+func (e *Engine) applyTiming(l *Launch, st *Stats, aggs []phaseAgg, scale float64) {
+	d := e.Dev
+	usedSMs := float64(min(l.Blocks, d.SMs))
+	blocksPerSM := float64(l.Blocks) / float64(d.SMs)
+	if blocksPerSM < 1 {
+		blocksPerSM = 1
+	}
+	if r := float64(st.Occ.ResidentBlocksPerSM); blocksPerSM > r {
+		blocksPerSM = r
+	}
+
+	cpc := l.CyclesPerCompress
+	if cpc <= 0 {
+		cpc = 300 // conservative default; real schedules come from internal/ptx
+	}
+
+	var computeCycles float64
+	var warpCycleSum float64
+	var occWeighted float64
+	for _, a := range aggs {
+		activeWarps := float64((a.activeThreads + 31) / 32)
+		aw := blocksPerSM * activeWarps
+		eff := aw / (aw + d.LatencyHidingWarps)
+		work := float64(a.warpCompress) * scale * cpc
+		cycles := work / (usedSMs * d.IntIssueWarpsPerCycle * eff)
+		computeCycles += cycles
+		warpCycleSum += work
+		occWeighted += cycles * aw
+	}
+	st.WarpCycles = warpCycleSum
+
+	// Shared-memory wavefronts: one per cycle per SM LSU.
+	wavefronts := float64(st.Shmem.LoadTransactions + st.Shmem.StoreTransactions)
+	shmemCycles := wavefronts / usedSMs
+
+	syncCycles := float64(st.Syncs) * SyncCycles / usedSMs
+
+	totalComputeCycles := computeCycles + shmemCycles + syncCycles
+	computeTime := totalComputeCycles / d.ClockHz() // seconds
+
+	dramBytes := float64(st.GlobalRead + st.GlobalWrite)
+	dramTime := dramBytes / (d.MemBandwidthGBs * 1e9)
+
+	dur := computeTime
+	if dramTime > dur {
+		dur = dramTime
+	}
+	st.DurationUs = dur * 1e6
+
+	if dur > 0 {
+		durationCycles := dur * d.ClockHz()
+		issued := warpCycleSum + wavefronts
+		available := usedSMs * d.IntIssueWarpsPerCycle * durationCycles
+		st.ComputeThroughputPct = 100 * issued / available
+
+		dramPct := 100 * dramBytes / (d.MemBandwidthGBs * 1e9 * dur)
+		shPeak := usedSMs * 128 * d.ClockHz() // bytes/s of shared-memory bandwidth
+		shPct := 100 * wavefronts * 128 / (shPeak * dur)
+		st.MemoryThroughputPct = dramPct
+		if shPct > st.MemoryThroughputPct {
+			st.MemoryThroughputPct = shPct
+		}
+	}
+	if computeCycles > 0 {
+		st.AchievedOccupancyPct = 100 * (occWeighted / computeCycles) / float64(d.MaxWarpsPerSM)
+	}
+	if st.AchievedOccupancyPct > st.Occ.TheoreticalPct {
+		st.AchievedOccupancyPct = st.Occ.TheoreticalPct
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+
+	"herosign/internal/gpu/device"
+	"herosign/internal/gpu/shmem"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// hashKernel builds a launch whose every thread performs `perThread` F
+// evaluations, for engine-model tests.
+func hashKernel(name string, blocks, threads, active, perThread int) *Launch {
+	p := params.SPHINCSPlus128f
+	seed := make([]byte, p.N)
+	base := hashes.NewCtx(p, seed, seed)
+	return &Launch{
+		Name: name, Blocks: blocks, ThreadsPerBlock: threads,
+		RegsPerThread: 48, CyclesPerCompress: 300,
+		Body: func(b *Block) {
+			buf := make([]byte, p.N)
+			var adrs address.Address
+			b.For(active, func(tid int) {
+				ctx := base.Clone(b.ThreadCounter(tid))
+				for i := 0; i < perThread; i++ {
+					ctx.F(buf, buf, &adrs)
+				}
+			})
+			b.Sync()
+		},
+	}
+}
+
+// TestRunCountsCompressions verifies exact compression accounting: each F
+// call over n=16 bytes hashes one seed block (cached) + 22B address + 16B
+// message = 38 bytes past the midstate, i.e. exactly 1 compression.
+func TestRunCountsCompressions(t *testing.T) {
+	e := New(device.RTX4090)
+	st, err := e.Run(hashKernel("k", 4, 128, 128, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4 * 128 * 10)
+	if st.Compress != want {
+		t.Fatalf("Compress = %d, want %d", st.Compress, want)
+	}
+	if st.Syncs != 4 {
+		t.Fatalf("Syncs = %d, want 4", st.Syncs)
+	}
+	if st.DurationUs <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+// TestPartialWarpChargesFullWarp checks warp-granular accounting: 16 active
+// threads still cost one warp of issue work, so duration must not halve
+// versus 32 active threads.
+func TestPartialWarpChargesFullWarp(t *testing.T) {
+	e := New(device.RTX4090)
+	full, err := e.Run(hashKernel("full", 1, 32, 32, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := e.Run(hashKernel("half", 1, 32, 16, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.WarpCycles != full.WarpCycles {
+		t.Fatalf("warp cycles differ: half=%v full=%v (lockstep violated)",
+			half.WarpCycles, full.WarpCycles)
+	}
+}
+
+// TestMoreActiveWarpsFaster checks the latency-hiding model: the same total
+// work spread across more active warps per block completes sooner.
+func TestMoreActiveWarpsFaster(t *testing.T) {
+	e := New(device.RTX4090)
+	// 2 warps active per block vs 22: same per-thread work, so the wide
+	// kernel does 11x the work but must be far less than 11x slower.
+	narrow, err := e.Run(hashKernel("narrow", 128, 1024, 64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := e.Run(hashKernel("wide", 128, 1024, 704, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workRatio := float64(wide.Compress) / float64(narrow.Compress)
+	timeRatio := wide.DurationUs / narrow.DurationUs
+	if timeRatio > workRatio*0.6 {
+		t.Fatalf("latency hiding too weak: work x%.1f but time x%.1f", workRatio, timeRatio)
+	}
+}
+
+// TestSamplingScalesCounters runs the same kernel sampled and unsampled and
+// checks counters agree after scaling.
+func TestSamplingScalesCounters(t *testing.T) {
+	full := New(device.RTX4090)
+	sampled := &Engine{Dev: device.RTX4090, SampleBlocks: 8}
+	k := hashKernel("k", 64, 128, 128, 20)
+	a, err := full.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampled.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SampledBlocks != 8 {
+		t.Fatalf("SampledBlocks = %d", b.SampledBlocks)
+	}
+	if a.Compress != b.Compress {
+		t.Fatalf("scaled compress mismatch: %d vs %d", a.Compress, b.Compress)
+	}
+	relDiff := (a.DurationUs - b.DurationUs) / a.DurationUs
+	if relDiff > 0.01 || relDiff < -0.01 {
+		t.Fatalf("scaled duration mismatch: %v vs %v", a.DurationUs, b.DurationUs)
+	}
+}
+
+// TestRunRejectsOversizedKernels checks config validation.
+func TestRunRejectsOversizedKernels(t *testing.T) {
+	e := New(device.RTX4090)
+	if _, err := e.Run(&Launch{Name: "bad", Blocks: 1, ThreadsPerBlock: 2048, Body: func(*Block) {}}); err == nil {
+		t.Fatal("2048-thread block accepted")
+	}
+	if _, err := e.Run(&Launch{
+		Name: "regs", Blocks: 1, ThreadsPerBlock: 1024, RegsPerThread: 128,
+		CyclesPerCompress: 300, Body: func(*Block) {},
+	}); err == nil {
+		t.Fatal("register-infeasible kernel accepted")
+	}
+	if _, err := e.Run(&Launch{Name: "none", Blocks: 0, ThreadsPerBlock: 32, Body: func(*Block) {}}); err == nil {
+		t.Fatal("zero-block launch accepted")
+	}
+}
+
+// TestSharedMemoryFlowsIntoStats runs a kernel with shared-memory traffic
+// and checks the transactions and padding-dependent footprint are reported.
+func TestSharedMemoryFlowsIntoStats(t *testing.T) {
+	e := New(device.RTX4090)
+	mk := func(pad shmem.Padding) *Launch {
+		return &Launch{
+			Name: "sh", Blocks: 2, ThreadsPerBlock: 64, RegsPerThread: 32,
+			SharedLogicalBytes: 33 * 1024, SharedPadding: pad,
+			CyclesPerCompress: 300,
+			Body: func(b *Block) {
+				buf := make([]byte, 32)
+				b.For(32, func(tid int) {
+					b.Shared.Read(tid, tid*1024, buf)
+				})
+				b.Sync()
+			},
+		}
+	}
+	plain, err := e.Run(mk(shmem.None))
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := e.Run(mk(shmem.ForNodeBytes(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Shmem.LoadConflicts == 0 {
+		t.Fatal("tree-strided reads should conflict unpadded")
+	}
+	if padded.Shmem.LoadConflicts >= plain.Shmem.LoadConflicts {
+		t.Fatal("padding did not reduce conflicts in engine stats")
+	}
+	if padded.SharedMemBytes <= plain.SharedMemBytes {
+		t.Fatal("padded footprint should be larger")
+	}
+	if padded.DurationUs >= plain.DurationUs {
+		t.Fatal("conflict elimination should reduce modeled duration")
+	}
+}
+
+// TestOccupancyReported checks occupancy metadata lands in stats.
+func TestOccupancyReported(t *testing.T) {
+	e := New(device.RTX4090)
+	st, err := e.Run(hashKernel("occ", 8, 1024, 1024, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Occ.ActiveWarpsPerSM != 32 || st.Occ.TheoreticalPct < 66 {
+		t.Fatalf("unexpected occupancy %+v", st.Occ)
+	}
+	if st.AchievedOccupancyPct <= 0 || st.AchievedOccupancyPct > st.Occ.TheoreticalPct+1e-9 {
+		t.Fatalf("achieved occupancy %.2f out of range", st.AchievedOccupancyPct)
+	}
+}
+
+// TestGlobalTrafficTiming: a kernel moving far more DRAM bytes than compute
+// must be memory-bound in the model.
+func TestGlobalTrafficTiming(t *testing.T) {
+	e := New(device.RTX4090)
+	st, err := e.Run(&Launch{
+		Name: "memb", Blocks: 4, ThreadsPerBlock: 32, RegsPerThread: 32,
+		CyclesPerCompress: 300,
+		Body: func(b *Block) {
+			b.GlobalRead(1 << 28) // 256 MiB per block
+			b.For(32, func(tid int) {})
+			b.Sync()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUs := float64(4*(1<<28)) / (device.RTX4090.MemBandwidthGBs * 1e9) * 1e6
+	if st.DurationUs < wantUs*0.99 {
+		t.Fatalf("duration %.1fus below DRAM floor %.1fus", st.DurationUs, wantUs)
+	}
+	if st.MemoryThroughputPct < 90 {
+		t.Fatalf("memory throughput %.1f%%, want ~100%%", st.MemoryThroughputPct)
+	}
+}

@@ -1,0 +1,83 @@
+package ptx
+
+// Compile-time model (paper §IV-E2, Table XI).
+//
+// nvcc's optimization passes dominate compilation of these kernels: cost
+// grows with the number of instructions the optimizer may transform and
+// with how many distinct code paths exist in the translation unit. Inline
+// PTX blocks are opaque to the optimizer, so the PTX variant of a kernel
+// compiles markedly faster. HERO-Sign's constexpr-if branching instantiates
+// one template specialization per kernel (a small fixed overhead) but ships
+// exactly one path per kernel, whereas a runtime-branching build must
+// compile and carry both paths in every kernel.
+
+// Compile-cost calibration constants (seconds). These reproduce the scale
+// of Table XI (≈15–25 s full builds) on the modeled build machine.
+const (
+	// secPerKiloInstrPass is the optimizer cost per 1000 SASS-level
+	// instructions per aggressive pass group.
+	secPerKiloInstrPass = 0.13
+	// nativePassGroups / ptxPassGroups: pass groups that actually run over
+	// each path's instructions (inline asm is skipped by most of them).
+	nativePassGroups = 10.0
+	ptxPassGroups    = 5.0
+	// templateInstantiationSec is the constexpr-if specialization overhead
+	// per instantiated kernel.
+	templateInstantiationSec = 0.12
+	// harnessBaseSec covers host code, headers and cudafe for the project.
+	harnessBaseSec = 8.0
+)
+
+// unrollFactor scales compile cost with how much code the kernel inlines
+// per parameter set: wots_gen_leaf bodies grow with n (560/816/1072 SHA-2
+// calls per leaf at 128/192/256f, paper §III-C2).
+func unrollFactor(k Kernel, n int) float64 {
+	base := map[Kernel]float64{FORSSign: 1.0, TREESign: 1.6, WOTSSign: 1.2}[k]
+	scale := map[int]float64{16: 1.0, 24: 1.25, 32: 1.45}[n]
+	return base * scale
+}
+
+// KernelCompileSec models compiling one kernel under one variant.
+func KernelCompileSec(k Kernel, v Variant, n int) float64 {
+	var mix InstrMix
+	var passes float64
+	switch v {
+	case Native:
+		mix, passes = NativeMix, nativePassGroups
+	case PTX:
+		mix, passes = PTXMix, ptxPassGroups
+	}
+	kiloInstr := float64(mix.Total()) / 1000.0
+	return kiloInstr * secPerKiloInstrPass * passes * unrollFactor(k, n)
+}
+
+// BuildPlan describes which variant each kernel compiles with.
+type BuildPlan struct {
+	Selection map[Kernel]Variant
+	// RuntimeBranching carries both paths in every kernel (the baseline
+	// strategy HERO-Sign's compile-time branching replaces).
+	RuntimeBranching bool
+}
+
+// BaselineBuild is the TCAS-style build: native code for every kernel.
+func BaselineBuild() BuildPlan {
+	return BuildPlan{Selection: map[Kernel]Variant{
+		FORSSign: Native, TREESign: Native, WOTSSign: Native,
+	}}
+}
+
+// CompileSec models the total build time for the plan at security level n.
+func (bp BuildPlan) CompileSec(n int) float64 {
+	total := harnessBaseSec
+	for _, k := range Kernels() {
+		if bp.RuntimeBranching {
+			// Both paths live in one kernel body: compile both, and the
+			// merged control flow enlarges the optimization problem.
+			total += 1.1 * (KernelCompileSec(k, Native, n) + KernelCompileSec(k, PTX, n))
+			continue
+		}
+		v := bp.Selection[k]
+		total += KernelCompileSec(k, v, n) + templateInstantiationSec
+	}
+	return total
+}

@@ -1,0 +1,196 @@
+// Package ptx models the compiler-level dimension of HERO-Sign: the
+// instruction schedule of the SHA-256 compression function under the
+// "native" CUDA C path versus the hand-tuned PTX path (§III-C), the
+// register pressure each path induces in each kernel, and the nvcc
+// compile-time behaviour (§IV-E2).
+//
+// Functionally both paths compute identical digests (they share
+// internal/sha2); what differs is the cost model:
+//
+//   - Native: the compiler emits the classic big-endian load sequence
+//     (2 shifts + 1 LOP3 per word) and aggressively reassociates additions
+//     into IADD3. Aggressive optimization also inflates live ranges, which
+//     shows up as higher registers-per-thread.
+//   - PTX: prmt.b32 replaces the shift-based byte swaps (one instruction per
+//     word), and the m-parameter mad.lo.u32 trick (paper Fig. 5) pins the
+//     multiply-add form at SASS level. Inline asm blocks are opaque to the
+//     optimizer, which shortens live ranges (fewer registers) and shrinks
+//     the optimization search space (faster compiles), at the price of
+//     forgoing some compiler scheduling wins on small-state kernels.
+package ptx
+
+import "fmt"
+
+// Variant selects the compilation path for a kernel.
+type Variant int
+
+const (
+	// Native is the plain CUDA C path compiled with full optimization.
+	Native Variant = iota
+	// PTX is the inline-assembly path (prmt loads, retained mad).
+	PTX
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == PTX {
+		return "PTX"
+	}
+	return "native"
+}
+
+// InstrMix is the per-SHA-256-compression instruction budget of a schedule,
+// in SASS-level instruction classes.
+type InstrMix struct {
+	LD    int // shared/const/register-file loads of message words
+	PRMT  int // byte-permutation instructions
+	Shift int // SHL/SHR/SHF funnel shifts
+	LOP3  int // 3-input logic ops (xor/and/maj/ch fusions)
+	IADD3 int // 3-input adds
+	ADD   int // 2-input adds
+	MAD   int // multiply-add (PTX path's pinned form)
+}
+
+// issueCost per instruction class, in issue cycles. prmt and mad execute on
+// lower-throughput pipes than simple ALU ops (the paper notes prmt's higher
+// latency), which is why replacing instructions 1:1 must still win on count.
+var issueCost = map[string]float64{
+	"LD": 1.0, "PRMT": 1.3, "Shift": 1.0, "LOP3": 1.0,
+	"IADD3": 1.0, "ADD": 1.0, "MAD": 1.3,
+}
+
+// Total returns the total instruction count.
+func (m InstrMix) Total() int {
+	return m.LD + m.PRMT + m.Shift + m.LOP3 + m.IADD3 + m.ADD + m.MAD
+}
+
+// IssueCycles returns the issue-cycle cost of the mix.
+func (m InstrMix) IssueCycles() float64 {
+	return float64(m.LD)*issueCost["LD"] +
+		float64(m.PRMT)*issueCost["PRMT"] +
+		float64(m.Shift)*issueCost["Shift"] +
+		float64(m.LOP3)*issueCost["LOP3"] +
+		float64(m.IADD3)*issueCost["IADD3"] +
+		float64(m.ADD)*issueCost["ADD"] +
+		float64(m.MAD)*issueCost["MAD"]
+}
+
+// NativeMix is the modeled native schedule for one compression:
+// byte swaps as 2 shifts + 1 LOP3 per word, message schedule and rounds
+// with IADD3 fusion.
+var NativeMix = InstrMix{
+	LD:    16,
+	Shift: 32 + 288, // byteswap shifts + sigma shifts in schedule/rounds
+	LOP3:  16 + 192 + 512,
+	IADD3: 212,
+	ADD:   104,
+}
+
+// PTXMix is the modeled PTX schedule: prmt-based loads and mad-pinned adds.
+var PTXMix = InstrMix{
+	LD:    16,
+	PRMT:  16,
+	Shift: 288,
+	LOP3:  192 + 512,
+	MAD:   180,
+	ADD:   88,
+}
+
+// Kernel identifies one of the three SPHINCS+ component kernels
+// (paper §III: FORS_Sign, TREE_Sign, WOTS+_Sign).
+type Kernel int
+
+const (
+	FORSSign Kernel = iota
+	TREESign
+	WOTSSign
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case FORSSign:
+		return "FORS_Sign"
+	case TREESign:
+		return "TREE_Sign"
+	case WOTSSign:
+		return "WOTS+_Sign"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// Kernels lists the three component kernels in paper order.
+func Kernels() []Kernel { return []Kernel{FORSSign, TREESign, WOTSSign} }
+
+// nativeEfficiency is the per-kernel, per-security-level scheduling bonus of
+// the unconstrained native compiler (instruction-scheduling and fusion wins
+// the opaque asm path forgoes). The paper observes (Table V) that native
+// codegen stays ahead on the register-light kernels at levels 1 and 3,
+// while at level 5 the aggressive optimization backfires ("PTX can help
+// alleviate aggressive compiler optimizations", §III-C2): huge unrolled
+// wots_gen_leaf bodies cause spill traffic that costs more than the
+// scheduling wins.
+//
+// Keyed by kernel, then by n (16/24/32). Values multiply the native
+// schedule's issue cycles (lower = faster native code).
+var nativeEfficiency = map[Kernel]map[int]float64{
+	FORSSign: {16: 1.00, 24: 1.00, 32: 1.02}, // tree reduction: little to fuse
+	TREESign: {16: 0.90, 24: 0.91, 32: 1.08}, // big unrolled bodies: wins, then spills
+	WOTSSign: {16: 0.90, 24: 0.92, 32: 1.06},
+}
+
+// Schedule is the compiled cost model of one kernel under one variant.
+type Schedule struct {
+	Kernel  Kernel
+	Variant Variant
+	N       int // hash size of the parameter set (16/24/32)
+
+	Mix               InstrMix
+	CyclesPerCompress float64
+	RegsPerThread     int
+}
+
+// registers per thread, calibrated to the paper's profiling anchors:
+// Table III (baseline 128f: FORS 64, TREE 128, WOTS+ 72) and §III-C
+// (TREE_Sign 256f: 168 native vs 95 PTX).
+var regsNative = map[Kernel]map[int]int{
+	FORSSign: {16: 64, 24: 72, 32: 80},
+	TREESign: {16: 128, 24: 144, 32: 168},
+	WOTSSign: {16: 72, 24: 80, 32: 96},
+}
+
+var regsPTX = map[Kernel]map[int]int{
+	FORSSign: {16: 48, 24: 56, 32: 62},
+	TREESign: {16: 96, 24: 104, 32: 95},
+	WOTSSign: {16: 64, 24: 70, 32: 78},
+}
+
+// ScheduleFor returns the cost model for (kernel, variant, n).
+func ScheduleFor(k Kernel, v Variant, n int) Schedule {
+	s := Schedule{Kernel: k, Variant: v, N: n}
+	switch v {
+	case Native:
+		s.Mix = NativeMix
+		s.CyclesPerCompress = NativeMix.IssueCycles() * nativeEfficiency[k][n]
+		s.RegsPerThread = regsNative[k][n]
+	case PTX:
+		s.Mix = PTXMix
+		s.CyclesPerCompress = PTXMix.IssueCycles()
+		s.RegsPerThread = regsPTX[k][n]
+	}
+	return s
+}
+
+// CappedRegs applies a __launch_bounds__-style register cap: the compiler
+// respects the cap but pays for it with spill traffic once the demand
+// exceeds it. Returns the effective register count and the spill penalty
+// multiplier on cycles.
+func (s Schedule) CappedRegs(cap int) (regs int, spillFactor float64) {
+	if cap <= 0 || s.RegsPerThread <= cap {
+		return s.RegsPerThread, 1.0
+	}
+	over := float64(s.RegsPerThread-cap) / float64(s.RegsPerThread)
+	// Each spilled fraction costs local-memory round trips; 25% over-demand
+	// costs about 12% extra cycles in this model.
+	return cap, 1.0 + 0.5*over
+}

@@ -1,0 +1,146 @@
+package ptx
+
+import "testing"
+
+// TestMixesAreSubstantial sanity-checks the schedules against the known
+// scale of a SHA-256 compression (~1.2–1.5k instructions in scalar code).
+func TestMixesAreSubstantial(t *testing.T) {
+	for _, m := range []InstrMix{NativeMix, PTXMix} {
+		if tot := m.Total(); tot < 900 || tot > 2000 {
+			t.Errorf("mix total = %d, implausible for SHA-256 compression", tot)
+		}
+	}
+	if PTXMix.Total() >= NativeMix.Total() {
+		t.Error("prmt-based loads should shrink the instruction count")
+	}
+	if PTXMix.PRMT != 16 {
+		t.Errorf("PTX schedule needs one prmt per message word, got %d", PTXMix.PRMT)
+	}
+	if NativeMix.PRMT != 0 || NativeMix.MAD != 0 {
+		t.Error("native schedule must not contain PTX-pinned instructions")
+	}
+}
+
+// TestRegisterAnchors pins the register model to the paper's published
+// profiling numbers.
+func TestRegisterAnchors(t *testing.T) {
+	// Table III: baseline (native) 128f registers per thread.
+	if r := ScheduleFor(FORSSign, Native, 16).RegsPerThread; r != 64 {
+		t.Errorf("FORS native 128f regs = %d, want 64", r)
+	}
+	if r := ScheduleFor(TREESign, Native, 16).RegsPerThread; r != 128 {
+		t.Errorf("TREE native 128f regs = %d, want 128", r)
+	}
+	if r := ScheduleFor(WOTSSign, Native, 16).RegsPerThread; r != 72 {
+		t.Errorf("WOTS native 128f regs = %d, want 72", r)
+	}
+	// §III-C: TREE_Sign 256f: 168 native -> 95 PTX.
+	if r := ScheduleFor(TREESign, Native, 32).RegsPerThread; r != 168 {
+		t.Errorf("TREE native 256f regs = %d, want 168", r)
+	}
+	if r := ScheduleFor(TREESign, PTX, 32).RegsPerThread; r != 95 {
+		t.Errorf("TREE PTX 256f regs = %d, want 95", r)
+	}
+}
+
+// TestPTXAlwaysLowersRegisters: the PTX path must reduce register pressure
+// for every kernel and level — that is its architectural purpose.
+func TestPTXAlwaysLowersRegisters(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, n := range []int{16, 24, 32} {
+			nat := ScheduleFor(k, Native, n).RegsPerThread
+			px := ScheduleFor(k, PTX, n).RegsPerThread
+			if px >= nat {
+				t.Errorf("%v n=%d: PTX regs %d >= native %d", k, n, px, nat)
+			}
+		}
+	}
+}
+
+// TestNativeSchedulingAdvantageShape encodes Table V's observed pattern in
+// the raw cycle model: native wins on TREE/WOTS at levels 1 and 3; at level
+// 5 the native path's spill-prone aggressive optimization makes PTX cheaper
+// even before occupancy effects.
+func TestNativeSchedulingAdvantageShape(t *testing.T) {
+	for _, k := range []Kernel{TREESign, WOTSSign} {
+		for _, n := range []int{16, 24} {
+			nat := ScheduleFor(k, Native, n).CyclesPerCompress
+			px := ScheduleFor(k, PTX, n).CyclesPerCompress
+			if nat >= px {
+				t.Errorf("%v n=%d: native cycles %.0f should beat PTX %.0f", k, n, nat, px)
+			}
+		}
+		nat := ScheduleFor(k, Native, 32).CyclesPerCompress
+		px := ScheduleFor(k, PTX, 32).CyclesPerCompress
+		if px >= nat {
+			t.Errorf("%v n=32: PTX cycles %.0f should beat native %.0f", k, px, nat)
+		}
+	}
+	// FORS: PTX wins at every level (Table V first column).
+	for _, n := range []int{16, 24, 32} {
+		nat := ScheduleFor(FORSSign, Native, n).CyclesPerCompress
+		px := ScheduleFor(FORSSign, PTX, n).CyclesPerCompress
+		if px >= nat {
+			t.Errorf("FORS n=%d: PTX cycles %.0f should beat native %.0f", n, px, nat)
+		}
+	}
+}
+
+// TestCappedRegs checks the launch-bounds spill model.
+func TestCappedRegs(t *testing.T) {
+	s := ScheduleFor(TREESign, Native, 32) // 168 regs
+	regs, spill := s.CappedRegs(0)
+	if regs != 168 || spill != 1.0 {
+		t.Fatalf("no cap: got %d, %.2f", regs, spill)
+	}
+	regs, spill = s.CappedRegs(255)
+	if regs != 168 || spill != 1.0 {
+		t.Fatalf("loose cap: got %d, %.2f", regs, spill)
+	}
+	regs, spill = s.CappedRegs(128)
+	if regs != 128 || spill <= 1.0 {
+		t.Fatalf("tight cap: got %d, %.2f", regs, spill)
+	}
+	_, spillTighter := s.CappedRegs(96)
+	if spillTighter <= spill {
+		t.Fatal("tighter caps must spill more")
+	}
+}
+
+// TestCompileTimeShape reproduces Table XI's qualitative result: the
+// HERO-Sign build (compile-time branching, per-kernel selection) compiles
+// faster than the all-native baseline at every level, and far faster than a
+// runtime-branching build that carries both paths.
+func TestCompileTimeShape(t *testing.T) {
+	heroSel := map[int]map[Kernel]Variant{
+		16: {FORSSign: PTX, TREESign: Native, WOTSSign: Native},
+		24: {FORSSign: PTX, TREESign: Native, WOTSSign: Native},
+		32: {FORSSign: PTX, TREESign: PTX, WOTSSign: PTX},
+	}
+	for _, n := range []int{16, 24, 32} {
+		base := BaselineBuild().CompileSec(n)
+		hero := BuildPlan{Selection: heroSel[n]}.CompileSec(n)
+		runtime := BuildPlan{RuntimeBranching: true}.CompileSec(n)
+		if base < 10 || base > 30 {
+			t.Errorf("n=%d: baseline compile %.1fs out of Table XI scale", n, base)
+		}
+		ratio := base / hero
+		if ratio < 1.01 || ratio > 1.6 {
+			t.Errorf("n=%d: baseline/hero compile ratio %.2f outside paper's 1.07-1.28 neighbourhood", n, ratio)
+		}
+		if runtime <= base {
+			t.Errorf("n=%d: runtime branching should be the slowest build", n)
+		}
+	}
+}
+
+// TestKernelString covers the Stringers.
+func TestKernelString(t *testing.T) {
+	if FORSSign.String() != "FORS_Sign" || TREESign.String() != "TREE_Sign" ||
+		WOTSSign.String() != "WOTS+_Sign" {
+		t.Error("kernel names must match the paper's")
+	}
+	if Native.String() != "native" || PTX.String() != "PTX" {
+		t.Error("variant names")
+	}
+}

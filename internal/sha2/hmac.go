@@ -1,0 +1,91 @@
+package sha2
+
+// HMAC256 computes HMAC-SHA-256(key, msg) per RFC 2104. SPHINCS+ uses it for
+// PRF_msg at security level 1.
+func HMAC256(key, msg []byte) [Size256]byte {
+	var k [BlockSize256]byte
+	if len(key) > BlockSize256 {
+		kh := Sum256(key)
+		copy(k[:], kh[:])
+	} else {
+		copy(k[:], key)
+	}
+	var ipad, opad [BlockSize256]byte
+	for i := range k {
+		ipad[i] = k[i] ^ 0x36
+		opad[i] = k[i] ^ 0x5c
+	}
+	inner := New256()
+	inner.Write(ipad[:])
+	inner.Write(msg)
+	innerSum := inner.Sum(nil)
+	outer := New256()
+	outer.Write(opad[:])
+	outer.Write(innerSum)
+	var out [Size256]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}
+
+// HMAC512 computes HMAC-SHA-512(key, msg); SPHINCS+ round 3.1 uses it for
+// PRF_msg at security levels 3 and 5.
+func HMAC512(key, msg []byte) [Size512]byte {
+	var k [BlockSize512]byte
+	if len(key) > BlockSize512 {
+		kh := Sum512(key)
+		copy(k[:], kh[:])
+	} else {
+		copy(k[:], key)
+	}
+	var ipad, opad [BlockSize512]byte
+	for i := range k {
+		ipad[i] = k[i] ^ 0x36
+		opad[i] = k[i] ^ 0x5c
+	}
+	inner := New512()
+	inner.Write(ipad[:])
+	inner.Write(msg)
+	innerSum := inner.Sum(nil)
+	outer := New512()
+	outer.Write(opad[:])
+	outer.Write(innerSum)
+	var out [Size512]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}
+
+// MGF1_256 generates outLen bytes from seed using MGF1 with SHA-256
+// (RFC 8017 §B.2.1). SPHINCS+ uses it inside H_msg to stretch the message
+// digest to the index/FORS bit string.
+func MGF1_256(seed []byte, outLen int) []byte {
+	out := make([]byte, 0, outLen)
+	var ctr [4]byte
+	for i := uint32(0); len(out) < outLen; i++ {
+		ctr[0] = byte(i >> 24)
+		ctr[1] = byte(i >> 16)
+		ctr[2] = byte(i >> 8)
+		ctr[3] = byte(i)
+		h := New256()
+		h.Write(seed)
+		h.Write(ctr[:])
+		out = h.Sum(out)
+	}
+	return out[:outLen]
+}
+
+// MGF1_512 is MGF1 instantiated with SHA-512.
+func MGF1_512(seed []byte, outLen int) []byte {
+	out := make([]byte, 0, outLen)
+	var ctr [4]byte
+	for i := uint32(0); len(out) < outLen; i++ {
+		ctr[0] = byte(i >> 24)
+		ctr[1] = byte(i >> 16)
+		ctr[2] = byte(i >> 8)
+		ctr[3] = byte(i)
+		h := New512()
+		h.Write(seed)
+		h.Write(ctr[:])
+		out = h.Sum(out)
+	}
+	return out[:outLen]
+}

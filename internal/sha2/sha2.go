@@ -1,0 +1,46 @@
+// Package sha2 implements the SHA-2 family of hash functions (SHA-256 and
+// SHA-512) from scratch, together with the HMAC and MGF1 constructions that
+// the SPHINCS+ SHA-2 instantiation requires.
+//
+// The package exists instead of crypto/sha256 for two reasons:
+//
+//  1. HERO-Sign's central compiler-level optimization operates *inside* the
+//     SHA-256 compression function (PTX byte-permutation loads, mad-based
+//     modular additions). The simulator needs an implementation whose
+//     compression-function call count and message schedule are observable,
+//     so that the PTX instruction model (internal/ptx) can attribute an
+//     exact instruction mix to every hash invocation.
+//  2. The reproduction mandate is to build every substrate the paper
+//     depends on.
+//
+// Correctness is pinned to the standard library in the package tests: every
+// digest produced here is compared byte-for-byte against crypto/sha256 and
+// crypto/sha512 across a large corpus of lengths and contents.
+package sha2
+
+// BlockSize256 is the SHA-256 message block size in bytes.
+const BlockSize256 = 64
+
+// Size256 is the SHA-256 digest size in bytes.
+const Size256 = 32
+
+// BlockSize512 is the SHA-512 message block size in bytes.
+const BlockSize512 = 128
+
+// Size512 is the SHA-512 digest size in bytes.
+const Size512 = 64
+
+// CompressionBlocks256 returns the number of SHA-256 compression-function
+// invocations needed to hash a message of msgLen bytes (including padding).
+// This is the quantity the GPU simulator charges for each hash call.
+func CompressionBlocks256(msgLen int) int {
+	// Padding: 1 byte 0x80, zeros, 8-byte length; total padded length is the
+	// next multiple of 64 that leaves 9 bytes of room.
+	return (msgLen + 9 + BlockSize256 - 1) / BlockSize256
+}
+
+// CompressionBlocks512 is the SHA-512 analogue of CompressionBlocks256
+// (16-byte length field, 128-byte blocks).
+func CompressionBlocks512(msgLen int) int {
+	return (msgLen + 17 + BlockSize512 - 1) / BlockSize512
+}

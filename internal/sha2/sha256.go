@@ -1,0 +1,170 @@
+package sha2
+
+import "encoding/binary"
+
+// k256 holds the SHA-256 round constants (first 32 bits of the fractional
+// parts of the cube roots of the first 64 primes).
+var k256 = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// iv256 is the SHA-256 initial hash state (square roots of the first 8 primes).
+var iv256 = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// State256 is a raw SHA-256 chaining state. It is exported so that callers
+// implementing precomputed-prefix optimizations (the SPHINCS+ "seeded state"
+// trick: hash BlockPad(PK.seed) once, reuse the midstate for every thash)
+// can snapshot and restore states cheaply.
+type State256 [8]uint32
+
+// Hash256 is an incremental SHA-256 computation. The zero value is NOT ready
+// for use; call New256 or Reset.
+type Hash256 struct {
+	h      State256
+	buf    [BlockSize256]byte
+	n      int    // buffered bytes in buf
+	length uint64 // total message bytes absorbed
+}
+
+// New256 returns a fresh SHA-256 hash computation.
+func New256() *Hash256 {
+	var d Hash256
+	d.Reset()
+	return &d
+}
+
+// Reset restores the initial SHA-256 state.
+func (d *Hash256) Reset() {
+	d.h = iv256
+	d.n = 0
+	d.length = 0
+}
+
+// Midstate returns the current chaining state. It is only meaningful when
+// the absorbed length is a multiple of the block size.
+func (d *Hash256) Midstate() State256 { return d.h }
+
+// SetMidstate replaces the chaining state and absorbed length. absorbed must
+// be a multiple of BlockSize256; the internal buffer is cleared.
+func (d *Hash256) SetMidstate(s State256, absorbed uint64) {
+	d.h = s
+	d.n = 0
+	d.length = absorbed
+}
+
+// Write absorbs p. It never fails.
+func (d *Hash256) Write(p []byte) (int, error) {
+	n := len(p)
+	d.length += uint64(n)
+	if d.n > 0 {
+		c := copy(d.buf[d.n:], p)
+		d.n += c
+		p = p[c:]
+		if d.n == BlockSize256 {
+			compress256(&d.h, d.buf[:])
+			d.n = 0
+		}
+	}
+	for len(p) >= BlockSize256 {
+		compress256(&d.h, p[:BlockSize256])
+		p = p[BlockSize256:]
+	}
+	if len(p) > 0 {
+		d.n = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the digest to in and returns the result. The receiver state is
+// not modified, so Sum may be called repeatedly and interleaved with Write.
+func (d *Hash256) Sum(in []byte) []byte {
+	dd := *d // padding must not clobber the caller's state
+	var pad [BlockSize256 + 8]byte
+	pad[0] = 0x80
+	rem := dd.length % BlockSize256
+	var padLen int
+	if rem < 56 {
+		padLen = int(56 - rem)
+	} else {
+		padLen = int(64 + 56 - rem)
+	}
+	binary.BigEndian.PutUint64(pad[padLen:], dd.length*8)
+	dd.Write(pad[:padLen+8])
+	var out [Size256]byte
+	for i, v := range dd.h {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return append(in, out[:]...)
+}
+
+// Size returns the digest length in bytes.
+func (d *Hash256) Size() int { return Size256 }
+
+// BlockSize returns the block length in bytes.
+func (d *Hash256) BlockSize() int { return BlockSize256 }
+
+// Sum256 computes the SHA-256 digest of data in one shot.
+func Sum256(data []byte) [Size256]byte {
+	var d Hash256
+	d.Reset()
+	d.Write(data)
+	var out [Size256]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// compress256 absorbs one 64-byte block into the state. This is the scalar
+// "native" schedule; the PTX-modelled schedule in internal/ptx reuses this
+// function for functional results and differs only in its cost model.
+func compress256(state *State256, block []byte) {
+	var w [64]uint32
+	for i := 0; i < 16; i++ {
+		// Big-endian load: on a GPU this is the 16-load byte-swap sequence
+		// that HERO-Sign replaces with a single prmt.b32 per word.
+		w[i] = binary.BigEndian.Uint32(block[i*4:])
+	}
+	for i := 16; i < 64; i++ {
+		v1 := w[i-2]
+		t1 := rotr32(v1, 17) ^ rotr32(v1, 19) ^ (v1 >> 10)
+		v2 := w[i-15]
+		t2 := rotr32(v2, 7) ^ rotr32(v2, 18) ^ (v2 >> 3)
+		w[i] = t1 + w[i-7] + t2 + w[i-16]
+	}
+
+	a, b, c, d := state[0], state[1], state[2], state[3]
+	e, f, g, h := state[4], state[5], state[6], state[7]
+
+	for i := 0; i < 64; i++ {
+		t1 := h + (rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25)) + ((e & f) ^ (^e & g)) + k256[i] + w[i]
+		t2 := (rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22)) + ((a & b) ^ (a & c) ^ (b & c))
+		h = g
+		g = f
+		f = e
+		e = d + t1
+		d = c
+		c = b
+		b = a
+		a = t1 + t2
+	}
+
+	state[0] += a
+	state[1] += b
+	state[2] += c
+	state[3] += d
+	state[4] += e
+	state[5] += f
+	state[6] += g
+	state[7] += h
+}
+
+func rotr32(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }

@@ -1,0 +1,303 @@
+package sha2
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/sha512"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// TestSHA256KnownVectors checks the FIPS 180-4 example vectors.
+func TestSHA256KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	}
+	for _, c := range cases {
+		got := Sum256([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Sum256(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSHA512KnownVectors checks the FIPS 180-4 example vectors.
+func TestSHA512KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"abc", "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"},
+		{"", "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"},
+	}
+	for _, c := range cases {
+		got := Sum512([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Sum512(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSHA256MatchesStdlib hashes messages of every length 0..300 plus a set
+// of large random messages and compares against crypto/sha256.
+func TestSHA256MatchesStdlib(t *testing.T) {
+	for n := 0; n <= 300; n++ {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i*7 + n)
+		}
+		got := Sum256(msg)
+		want := sha256.Sum256(msg)
+		if got != want {
+			t.Fatalf("len=%d: got %x want %x", n, got, want)
+		}
+	}
+	for _, n := range []int{1000, 4096, 65537} {
+		msg := make([]byte, n)
+		if _, err := rand.Read(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := Sum256(msg)
+		want := sha256.Sum256(msg)
+		if got != want {
+			t.Fatalf("len=%d: got %x want %x", n, got, want)
+		}
+	}
+}
+
+// TestSHA512MatchesStdlib mirrors TestSHA256MatchesStdlib for SHA-512,
+// covering the 128-byte block boundary region.
+func TestSHA512MatchesStdlib(t *testing.T) {
+	for n := 0; n <= 300; n++ {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i*13 + n)
+		}
+		got := Sum512(msg)
+		want := sha512.Sum512(msg)
+		if got != want {
+			t.Fatalf("len=%d: got %x want %x", n, got, want)
+		}
+	}
+}
+
+// TestSHA256IncrementalSplits writes the same message in every 2-way split
+// and verifies the digest is split-invariant.
+func TestSHA256IncrementalSplits(t *testing.T) {
+	msg := make([]byte, 257)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	want := Sum256(msg)
+	for cut := 0; cut <= len(msg); cut++ {
+		d := New256()
+		d.Write(msg[:cut])
+		d.Write(msg[cut:])
+		if !bytes.Equal(d.Sum(nil), want[:]) {
+			t.Fatalf("cut=%d: digest mismatch", cut)
+		}
+	}
+}
+
+// TestSHA256SumIsIdempotent checks that Sum does not mutate hash state.
+func TestSHA256SumIsIdempotent(t *testing.T) {
+	d := New256()
+	d.Write([]byte("hello "))
+	s1 := d.Sum(nil)
+	s2 := d.Sum(nil)
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("Sum mutated state")
+	}
+	d.Write([]byte("world"))
+	want := Sum256([]byte("hello world"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Fatal("Write after Sum produced wrong digest")
+	}
+}
+
+// TestSHA256Midstate verifies that snapshotting the chaining value after one
+// block and resuming from it reproduces the full digest. This is the seeded
+// midstate optimization SPHINCS+ implementations rely on (BlockPad(PK.seed)
+// occupies exactly one block).
+func TestSHA256Midstate(t *testing.T) {
+	prefix := make([]byte, BlockSize256)
+	for i := range prefix {
+		prefix[i] = byte(i + 3)
+	}
+	suffix := []byte("the rest of the message")
+
+	full := New256()
+	full.Write(prefix)
+	full.Write(suffix)
+	want := full.Sum(nil)
+
+	pre := New256()
+	pre.Write(prefix)
+	mid := pre.Midstate()
+
+	resumed := New256()
+	resumed.SetMidstate(mid, BlockSize256)
+	resumed.Write(suffix)
+	if !bytes.Equal(resumed.Sum(nil), want) {
+		t.Fatal("midstate resume mismatch")
+	}
+}
+
+// TestHMAC256MatchesStdlib cross-checks HMAC-SHA-256 against crypto/hmac for
+// short, block-length, and over-length keys.
+func TestHMAC256MatchesStdlib(t *testing.T) {
+	keys := [][]byte{
+		[]byte("k"),
+		bytes.Repeat([]byte{0xaa}, 64),
+		bytes.Repeat([]byte{0xbb}, 131),
+		{},
+	}
+	msgs := [][]byte{
+		[]byte(""),
+		[]byte("what do ya want for nothing?"),
+		bytes.Repeat([]byte{0xdd}, 500),
+	}
+	for _, k := range keys {
+		for _, m := range msgs {
+			got := HMAC256(k, m)
+			mac := hmac.New(sha256.New, k)
+			mac.Write(m)
+			if !bytes.Equal(got[:], mac.Sum(nil)) {
+				t.Fatalf("HMAC256 key=%d msg=%d mismatch", len(k), len(m))
+			}
+		}
+	}
+}
+
+// TestHMAC512MatchesStdlib cross-checks HMAC-SHA-512 against crypto/hmac.
+func TestHMAC512MatchesStdlib(t *testing.T) {
+	k := bytes.Repeat([]byte{0x0b}, 20)
+	m := []byte("Hi There")
+	got := HMAC512(k, m)
+	mac := hmac.New(sha512.New, k)
+	mac.Write(m)
+	if !bytes.Equal(got[:], mac.Sum(nil)) {
+		t.Fatal("HMAC512 mismatch")
+	}
+}
+
+// TestMGF1KnownLengths checks MGF1 output prefixes are consistent: the first
+// k bytes of MGF1(seed, n) must equal MGF1(seed, k) for k <= n.
+func TestMGF1KnownLengths(t *testing.T) {
+	seed := []byte("mgf1 seed value")
+	long := MGF1_256(seed, 200)
+	for _, k := range []int{0, 1, 31, 32, 33, 64, 100, 199, 200} {
+		short := MGF1_256(seed, k)
+		if !bytes.Equal(short, long[:k]) {
+			t.Fatalf("MGF1_256 prefix property violated at %d", k)
+		}
+	}
+	long512 := MGF1_512(seed, 300)
+	for _, k := range []int{1, 63, 64, 65, 128, 300} {
+		if !bytes.Equal(MGF1_512(seed, k), long512[:k]) {
+			t.Fatalf("MGF1_512 prefix property violated at %d", k)
+		}
+	}
+}
+
+// TestMGF1Vector checks a fixed MGF1-SHA256 output against the definition
+// computed with the (already stdlib-validated) one-shot hash.
+func TestMGF1Vector(t *testing.T) {
+	seed := []byte{1, 2, 3, 4}
+	want := sha256.Sum256(append(append([]byte{}, seed...), 0, 0, 0, 0))
+	got := MGF1_256(seed, 32)
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("MGF1_256 first block mismatch: %x vs %x", got, want)
+	}
+}
+
+// TestCompressionBlocks256 exercises padding-boundary arithmetic.
+func TestCompressionBlocks256(t *testing.T) {
+	cases := map[int]int{
+		0: 1, 1: 1, 55: 1, 56: 2, 63: 2, 64: 2, 119: 2, 120: 3, 128: 3,
+	}
+	for msgLen, want := range cases {
+		if got := CompressionBlocks256(msgLen); got != want {
+			t.Errorf("CompressionBlocks256(%d) = %d, want %d", msgLen, got, want)
+		}
+	}
+}
+
+// TestCompressionBlocks512 exercises SHA-512 padding-boundary arithmetic.
+func TestCompressionBlocks512(t *testing.T) {
+	cases := map[int]int{
+		0: 1, 111: 1, 112: 2, 128: 2, 239: 2, 240: 3,
+	}
+	for msgLen, want := range cases {
+		if got := CompressionBlocks512(msgLen); got != want {
+			t.Errorf("CompressionBlocks512(%d) = %d, want %d", msgLen, got, want)
+		}
+	}
+}
+
+// TestQuickSHA256EqualsStdlib is a property-based cross-check against the
+// standard library over random byte strings.
+func TestQuickSHA256EqualsStdlib(t *testing.T) {
+	f := func(msg []byte) bool {
+		got := Sum256(msg)
+		want := sha256.Sum256(msg)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSHA512EqualsStdlib is the SHA-512 property-based cross-check.
+func TestQuickSHA512EqualsStdlib(t *testing.T) {
+	f := func(msg []byte) bool {
+		got := Sum512(msg)
+		want := sha512.Sum512(msg)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIncrementalEqualsOneShot checks split-invariance as a property.
+func TestQuickIncrementalEqualsOneShot(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		d := New256()
+		d.Write(a)
+		d.Write(b)
+		d.Write(c)
+		all := append(append(append([]byte{}, a...), b...), c...)
+		want := Sum256(all)
+		return bytes.Equal(d.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSHA256Compress(b *testing.B) {
+	buf := make([]byte, BlockSize256)
+	var s State256 = iv256
+	b.SetBytes(BlockSize256)
+	for i := 0; i < b.N; i++ {
+		compress256(&s, buf)
+	}
+}
+
+func BenchmarkSHA256Sum1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(buf)
+	}
+}

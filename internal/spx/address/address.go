@@ -1,0 +1,125 @@
+// Package address implements the SPHINCS+ hash-function addressing scheme
+// (ADRS). Every tweakable-hash call in SPHINCS+ is domain-separated by a
+// 32-byte structured address; the SHA-2 instantiation compresses it to 22
+// bytes before hashing, which is the form the GPU kernels move through
+// constant/shared memory.
+package address
+
+import "encoding/binary"
+
+// Address types, per the SPHINCS+ round-3.1 specification.
+const (
+	WOTSHash  = 0 // hashing inside a WOTS+ chain
+	WOTSPK    = 1 // compressing a WOTS+ public key
+	Tree      = 2 // hashing inside an XMSS (hypertree) Merkle tree
+	FORSTree  = 3 // hashing inside a FORS Merkle tree
+	FORSRoots = 4 // compressing the k FORS roots
+	WOTSPRF   = 5 // secret-key generation for WOTS+ chains
+	FORSPRF   = 6 // secret-key generation for FORS leaves
+)
+
+// Size is the uncompressed address size in bytes.
+const Size = 32
+
+// CompressedSize is the SHA-2 compressed address size in bytes:
+// layer (1) || tree (8) || type (1) || remaining words (12).
+const CompressedSize = 22
+
+// Address is a SPHINCS+ ADRS. The layout of the 32-byte word view is:
+//
+//	word 0       layer address
+//	words 1..3   tree address (96 bits; high 32 bits always zero here)
+//	word 4       type
+//	words 5..7   type-specific (key pair / chain / hash, or padding)
+//
+// The zero value is a valid address (layer 0, tree 0, type WOTS_HASH).
+type Address [Size]byte
+
+// SetLayer sets the hypertree layer (0 = bottom).
+func (a *Address) SetLayer(layer uint32) {
+	binary.BigEndian.PutUint32(a[0:4], layer)
+}
+
+// Layer returns the hypertree layer.
+func (a *Address) Layer() uint32 { return binary.BigEndian.Uint32(a[0:4]) }
+
+// SetTree sets the 64 low bits of the tree address (the index of the subtree
+// within its layer). SPHINCS+ tree indices fit in 64 bits for all parameter
+// sets; the upper 32 bits of the 96-bit field stay zero.
+func (a *Address) SetTree(tree uint64) {
+	binary.BigEndian.PutUint32(a[4:8], 0)
+	binary.BigEndian.PutUint64(a[8:16], tree)
+}
+
+// Tree returns the 64 low bits of the tree address.
+func (a *Address) Tree() uint64 { return binary.BigEndian.Uint64(a[8:16]) }
+
+// SetType sets the address type and zeroes the three type-specific words, as
+// the specification requires when switching types.
+func (a *Address) SetType(t uint32) {
+	binary.BigEndian.PutUint32(a[16:20], t)
+	for i := 20; i < 32; i++ {
+		a[i] = 0
+	}
+}
+
+// Type returns the address type.
+func (a *Address) Type() uint32 { return binary.BigEndian.Uint32(a[16:20]) }
+
+// SetKeyPair sets the key-pair address (WOTS+/FORS instance within a tree).
+func (a *Address) SetKeyPair(kp uint32) {
+	binary.BigEndian.PutUint32(a[20:24], kp)
+}
+
+// KeyPair returns the key-pair address.
+func (a *Address) KeyPair() uint32 { return binary.BigEndian.Uint32(a[20:24]) }
+
+// SetChain sets the WOTS+ chain address.
+func (a *Address) SetChain(chain uint32) {
+	binary.BigEndian.PutUint32(a[24:28], chain)
+}
+
+// SetHash sets the WOTS+ hash address (position within a chain).
+func (a *Address) SetHash(h uint32) {
+	binary.BigEndian.PutUint32(a[28:32], h)
+}
+
+// SetTreeHeight sets the node height for Tree/FORSTree addresses (aliases
+// the chain word).
+func (a *Address) SetTreeHeight(h uint32) {
+	binary.BigEndian.PutUint32(a[24:28], h)
+}
+
+// TreeHeight returns the node height.
+func (a *Address) TreeHeight() uint32 { return binary.BigEndian.Uint32(a[24:28]) }
+
+// SetTreeIndex sets the node index within its level (aliases the hash word).
+func (a *Address) SetTreeIndex(i uint32) {
+	binary.BigEndian.PutUint32(a[28:32], i)
+}
+
+// TreeIndex returns the node index within its level.
+func (a *Address) TreeIndex() uint32 { return binary.BigEndian.Uint32(a[28:32]) }
+
+// CopySubtree copies the subtree-identifying fields (layer and tree) from
+// src, leaving type and type-specific words untouched.
+func (a *Address) CopySubtree(src *Address) {
+	copy(a[0:16], src[0:16])
+}
+
+// CopyKeyPair copies subtree fields plus the key-pair word from src.
+func (a *Address) CopyKeyPair(src *Address) {
+	a.CopySubtree(src)
+	copy(a[20:24], src[20:24])
+}
+
+// Compressed returns the 22-byte SHA-2 address encoding:
+// layer (1 byte) || tree (8 bytes) || type (1 byte) || words 5..7 (12 bytes).
+func (a *Address) Compressed() [CompressedSize]byte {
+	var c [CompressedSize]byte
+	c[0] = a[3]           // low byte of layer
+	copy(c[1:9], a[8:16]) // low 8 bytes of tree
+	c[9] = a[19]          // low byte of type
+	copy(c[10:22], a[20:32])
+	return c
+}

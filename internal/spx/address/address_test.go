@@ -1,0 +1,161 @@
+package address
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestFieldRoundTrips checks every setter/getter pair.
+func TestFieldRoundTrips(t *testing.T) {
+	var a Address
+	a.SetLayer(7)
+	if a.Layer() != 7 {
+		t.Error("layer roundtrip")
+	}
+	a.SetTree(0x0123456789ABCDEF)
+	if a.Tree() != 0x0123456789ABCDEF {
+		t.Error("tree roundtrip")
+	}
+	a.SetType(FORSTree)
+	if a.Type() != FORSTree {
+		t.Error("type roundtrip")
+	}
+	a.SetKeyPair(42)
+	if a.KeyPair() != 42 {
+		t.Error("keypair roundtrip")
+	}
+	a.SetTreeHeight(5)
+	if a.TreeHeight() != 5 {
+		t.Error("tree height roundtrip")
+	}
+	a.SetTreeIndex(99)
+	if a.TreeIndex() != 99 {
+		t.Error("tree index roundtrip")
+	}
+}
+
+// TestSetTypeClearsTypeSpecificWords enforces the specification rule that
+// switching address type zeroes words 5..7.
+func TestSetTypeClearsTypeSpecificWords(t *testing.T) {
+	var a Address
+	a.SetKeyPair(1)
+	a.SetChain(2)
+	a.SetHash(3)
+	a.SetType(Tree)
+	if a.KeyPair() != 0 || a.TreeHeight() != 0 || a.TreeIndex() != 0 {
+		t.Fatal("SetType must clear the type-specific words")
+	}
+}
+
+// TestSetTypePreservesSubtreeIdentity: layer and tree survive a type switch.
+func TestSetTypePreservesSubtreeIdentity(t *testing.T) {
+	var a Address
+	a.SetLayer(3)
+	a.SetTree(77)
+	a.SetType(WOTSPK)
+	if a.Layer() != 3 || a.Tree() != 77 {
+		t.Fatal("SetType must not touch layer/tree")
+	}
+}
+
+// TestCopySubtree checks partial copies.
+func TestCopySubtree(t *testing.T) {
+	var src, dst Address
+	src.SetLayer(9)
+	src.SetTree(1234)
+	src.SetType(FORSTree)
+	src.SetKeyPair(55)
+
+	dst.SetType(WOTSHash)
+	dst.SetKeyPair(11)
+	dst.CopySubtree(&src)
+	if dst.Layer() != 9 || dst.Tree() != 1234 {
+		t.Fatal("CopySubtree missed identity fields")
+	}
+	if dst.Type() != WOTSHash || dst.KeyPair() != 11 {
+		t.Fatal("CopySubtree must not copy type or keypair")
+	}
+
+	var dst2 Address
+	dst2.CopyKeyPair(&src)
+	if dst2.KeyPair() != 55 || dst2.Tree() != 1234 {
+		t.Fatal("CopyKeyPair must copy keypair and identity")
+	}
+}
+
+// TestCompressedLayout pins the 22-byte SHA-2 layout:
+// layer(1) || tree(8) || type(1) || words 5..7 (12).
+func TestCompressedLayout(t *testing.T) {
+	var a Address
+	a.SetLayer(0xAB)
+	a.SetTree(0x1122334455667788)
+	a.SetType(FORSRoots)
+	a.SetKeyPair(0xDEADBEEF)
+	a.SetTreeHeight(0x01020304)
+	a.SetTreeIndex(0x0A0B0C0D)
+
+	c := a.Compressed()
+	if c[0] != 0xAB {
+		t.Errorf("layer byte = %#x", c[0])
+	}
+	wantTree := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88}
+	if !bytes.Equal(c[1:9], wantTree) {
+		t.Errorf("tree bytes = %x", c[1:9])
+	}
+	if c[9] != FORSRoots {
+		t.Errorf("type byte = %#x", c[9])
+	}
+	want := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x0A, 0x0B, 0x0C, 0x0D}
+	if !bytes.Equal(c[10:22], want) {
+		t.Errorf("words = %x", c[10:22])
+	}
+}
+
+// TestCompressedInjective property: distinct (layer, tree, type, keypair,
+// height, index) tuples compress to distinct byte strings within the value
+// ranges SPHINCS+ uses.
+func TestCompressedInjective(t *testing.T) {
+	type tuple struct {
+		Layer   uint8
+		Tree    uint32
+		Typ     uint8
+		KeyPair uint16
+		Height  uint8
+		Index   uint32
+	}
+	build := func(x tuple) [CompressedSize]byte {
+		var a Address
+		a.SetLayer(uint32(x.Layer))
+		a.SetTree(uint64(x.Tree))
+		a.SetType(uint32(x.Typ % 7))
+		a.SetKeyPair(uint32(x.KeyPair))
+		a.SetTreeHeight(uint32(x.Height))
+		a.SetTreeIndex(x.Index)
+		return a.Compressed()
+	}
+	f := func(x, y tuple) bool {
+		if x == y {
+			return true
+		}
+		xc, yc := build(x), build(y)
+		// Equal compressed forms imply equal tuples (mod type wrap).
+		if xc == yc {
+			x.Typ %= 7
+			y.Typ %= 7
+			return x == y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroValueIsValidWOTSHash documents the zero-value semantics.
+func TestZeroValueIsValidWOTSHash(t *testing.T) {
+	var a Address
+	if a.Type() != WOTSHash || a.Layer() != 0 || a.Tree() != 0 {
+		t.Fatal("zero value must be layer 0 / tree 0 / WOTS_HASH")
+	}
+}

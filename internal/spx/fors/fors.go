@@ -1,0 +1,156 @@
+// Package fors implements FORS (Forest of Random Subsets), the few-time
+// signature component of SPHINCS+: k Merkle trees of t = 2^logt leaves each,
+// where a message selects one leaf per tree and the signature reveals that
+// leaf's secret value plus its authentication path.
+//
+// The package exposes node-level primitives (LeafSK, LeafNode, TreeNode) in
+// addition to Sign/PKFromSig so that the GPU-simulated kernels can map leaf
+// and node computations onto threads level-by-level, exactly as HERO-Sign's
+// FORS_Sign kernel does.
+package fors
+
+import (
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// SigBytes returns the FORS signature size for p.
+func SigBytes(p *params.Params) int { return p.ForsBytes }
+
+// LeafSK derives the secret value of leaf leafIdx of tree treeIdx into out.
+// adrs carries the key-pair identification (layer/tree/keypair of the FORS
+// instance).
+func LeafSK(ctx *hashes.Ctx, out []byte, adrs *address.Address, treeIdx, leafIdx uint32) {
+	p := ctx.P
+	var skAdrs address.Address
+	skAdrs.CopyKeyPair(adrs)
+	skAdrs.SetType(address.FORSPRF)
+	skAdrs.SetKeyPair(adrs.KeyPair())
+	skAdrs.SetTreeHeight(0)
+	skAdrs.SetTreeIndex(treeIdx*uint32(p.T) + leafIdx)
+	ctx.PRF(out, &skAdrs)
+}
+
+// LeafNode computes the leaf hash (F of the secret value) for the given
+// tree/leaf into out.
+func LeafNode(ctx *hashes.Ctx, out []byte, adrs *address.Address, treeIdx, leafIdx uint32) {
+	p := ctx.P
+	sk := make([]byte, p.N)
+	LeafSK(ctx, sk, adrs, treeIdx, leafIdx)
+	var nodeAdrs address.Address
+	nodeAdrs.CopyKeyPair(adrs)
+	nodeAdrs.SetType(address.FORSTree)
+	nodeAdrs.SetKeyPair(adrs.KeyPair())
+	nodeAdrs.SetTreeHeight(0)
+	nodeAdrs.SetTreeIndex(treeIdx*uint32(p.T) + leafIdx)
+	ctx.F(out, sk, &nodeAdrs)
+}
+
+// TreeRoot computes the root of FORS tree treeIdx, optionally collecting the
+// authentication path for leafIdx into auth (LogT*N bytes; pass nil to skip).
+// This is the straightforward full-subtree computation the CPU reference
+// uses; kernels re-implement the same reduction over simulated shared
+// memory and are tested for byte equality against this function.
+func TreeRoot(ctx *hashes.Ctx, root []byte, adrs *address.Address, treeIdx uint32, leafIdx uint32, auth []byte) {
+	p := ctx.P
+	level := make([]byte, p.T*p.N)
+	for i := 0; i < p.T; i++ {
+		LeafNode(ctx, level[i*p.N:(i+1)*p.N], adrs, treeIdx, uint32(i))
+	}
+	var nodeAdrs address.Address
+	nodeAdrs.CopyKeyPair(adrs)
+	nodeAdrs.SetType(address.FORSTree)
+	nodeAdrs.SetKeyPair(adrs.KeyPair())
+
+	idx := leafIdx
+	width := p.T
+	for h := 0; h < p.LogT; h++ {
+		if auth != nil {
+			sib := idx ^ 1
+			copy(auth[h*p.N:(h+1)*p.N], level[int(sib)*p.N:int(sib+1)*p.N])
+		}
+		nodeAdrs.SetTreeHeight(uint32(h + 1))
+		for i := 0; i < width/2; i++ {
+			nodeAdrs.SetTreeIndex(treeIdx*uint32(p.T>>(h+1)) + uint32(i))
+			ctx.H(level[i*p.N:(i+1)*p.N],
+				level[2*i*p.N:(2*i+1)*p.N],
+				level[(2*i+1)*p.N:(2*i+2)*p.N],
+				&nodeAdrs)
+		}
+		width /= 2
+		idx >>= 1
+	}
+	copy(root[:p.N], level[:p.N])
+}
+
+// Sign produces the FORS signature of md (ForsMsgBytes) into sig
+// (ForsBytes) and returns the FORS public key (the compressed roots) which
+// the hypertree then signs.
+func Sign(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
+	p := ctx.P
+	indices := hashes.MessageToIndices(p, md)
+	roots := make([]byte, p.K*p.N)
+	itemBytes := (p.LogT + 1) * p.N
+	for i := 0; i < p.K; i++ {
+		item := sig[i*itemBytes : (i+1)*itemBytes]
+		// Reveal the selected leaf's secret value.
+		LeafSK(ctx, item[:p.N], adrs, uint32(i), indices[i])
+		// Authentication path and root.
+		TreeRoot(ctx, roots[i*p.N:(i+1)*p.N], adrs, uint32(i), indices[i], item[p.N:])
+	}
+	return compressRoots(ctx, roots, adrs)
+}
+
+// PKFromSig recomputes the FORS public key from a signature and message.
+func PKFromSig(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
+	p := ctx.P
+	indices := hashes.MessageToIndices(p, md)
+	roots := make([]byte, p.K*p.N)
+	itemBytes := (p.LogT + 1) * p.N
+	node := make([]byte, p.N)
+	sib := make([]byte, p.N)
+	_ = sib
+	var nodeAdrs address.Address
+	nodeAdrs.CopyKeyPair(adrs)
+	nodeAdrs.SetType(address.FORSTree)
+	nodeAdrs.SetKeyPair(adrs.KeyPair())
+	for i := 0; i < p.K; i++ {
+		item := sig[i*itemBytes : (i+1)*itemBytes]
+		leafIdx := indices[i]
+		// Leaf from the revealed secret value.
+		nodeAdrs.SetTreeHeight(0)
+		nodeAdrs.SetTreeIndex(uint32(i)*uint32(p.T) + leafIdx)
+		ctx.F(node, item[:p.N], &nodeAdrs)
+		// Climb the authentication path.
+		idx := leafIdx
+		offset := uint32(i) * uint32(p.T)
+		for h := 0; h < p.LogT; h++ {
+			authNode := item[(1+h)*p.N : (2+h)*p.N]
+			nodeAdrs.SetTreeHeight(uint32(h + 1))
+			offset >>= 1
+			nodeAdrs.SetTreeIndex(offset + idx>>1)
+			if idx&1 == 0 {
+				ctx.H(node, node, authNode, &nodeAdrs)
+			} else {
+				ctx.H(node, authNode, node, &nodeAdrs)
+			}
+			idx >>= 1
+		}
+		copy(roots[i*p.N:(i+1)*p.N], node)
+	}
+	return compressRoots(ctx, roots, adrs)
+}
+
+// compressRoots applies T_k over the concatenated roots with the FORSRoots
+// address type.
+func compressRoots(ctx *hashes.Ctx, roots []byte, adrs *address.Address) []byte {
+	p := ctx.P
+	var rootsAdrs address.Address
+	rootsAdrs.CopyKeyPair(adrs)
+	rootsAdrs.SetType(address.FORSRoots)
+	rootsAdrs.SetKeyPair(adrs.KeyPair())
+	pk := make([]byte, p.N)
+	ctx.Thash(pk, roots, &rootsAdrs)
+	return pk
+}

@@ -1,0 +1,176 @@
+package fors
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+func testCtx(t testing.TB, p *params.Params) *hashes.Ctx {
+	t.Helper()
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(9 * i)
+		skSeed[i] = byte(4*i + 2)
+	}
+	return hashes.NewCtx(p, pkSeed, skSeed)
+}
+
+func forsAdrs(treeIdx uint64, leafIdx uint32) *address.Address {
+	var a address.Address
+	a.SetLayer(0)
+	a.SetTree(treeIdx)
+	a.SetType(address.FORSTree)
+	a.SetKeyPair(leafIdx)
+	return &a
+}
+
+// TestSignThenRecover: PKFromSig over a fresh signature reproduces the
+// public key Sign returns — for every -f parameter set.
+func TestSignThenRecover(t *testing.T) {
+	for _, p := range params.FastSets() {
+		ctx := testCtx(t, p)
+		adrs := forsAdrs(42, 7)
+		md := make([]byte, p.ForsMsgBytes)
+		for i := range md {
+			md[i] = byte(i*13 + 1)
+		}
+		sig := make([]byte, p.ForsBytes)
+		pk := Sign(ctx, sig, md, adrs)
+
+		rec := PKFromSig(ctx, sig, md, adrs)
+		if !bytes.Equal(pk, rec) {
+			t.Fatalf("%s: recovered FORS pk mismatch", p.Name)
+		}
+	}
+}
+
+// TestRecoverRejectsTamperedSig: flipping any region of one tree's item
+// changes the recovered public key.
+func TestRecoverRejectsTamperedSig(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := forsAdrs(1, 2)
+	md := make([]byte, p.ForsMsgBytes)
+	sig := make([]byte, p.ForsBytes)
+	pk := Sign(ctx, sig, md, adrs)
+
+	itemBytes := (p.LogT + 1) * p.N
+	for _, off := range []int{0, p.N, itemBytes - 1, 5 * itemBytes, p.ForsBytes - 1} {
+		bad := append([]byte(nil), sig...)
+		bad[off] ^= 1
+		if bytes.Equal(PKFromSig(ctx, bad, md, adrs), pk) {
+			t.Errorf("tamper at %d did not change the recovered pk", off)
+		}
+	}
+}
+
+// TestRecoverRejectsWrongMessage: a different md selects different leaves,
+// so recovery diverges.
+func TestRecoverRejectsWrongMessage(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := forsAdrs(3, 4)
+	md := make([]byte, p.ForsMsgBytes)
+	sig := make([]byte, p.ForsBytes)
+	pk := Sign(ctx, sig, md, adrs)
+
+	wrong := append([]byte(nil), md...)
+	wrong[0] ^= 1
+	if bytes.Equal(PKFromSig(ctx, sig, wrong, adrs), pk) {
+		t.Fatal("wrong message recovered the correct pk")
+	}
+}
+
+// TestTreeRootAuthConsistency: climbing the auth path from the selected
+// leaf reproduces the root TreeRoot computed, for every leaf of a tree.
+func TestTreeRootAuthConsistency(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := forsAdrs(0, 0)
+
+	for leaf := uint32(0); leaf < uint32(p.T); leaf += 13 {
+		root := make([]byte, p.N)
+		auth := make([]byte, p.LogT*p.N)
+		TreeRoot(ctx, root, adrs, 2, leaf, auth)
+
+		// Climb manually.
+		node := make([]byte, p.N)
+		LeafNode(ctx, node, adrs, 2, leaf)
+		var nodeAdrs address.Address
+		nodeAdrs.CopyKeyPair(adrs)
+		nodeAdrs.SetType(address.FORSTree)
+		nodeAdrs.SetKeyPair(adrs.KeyPair())
+		idx := leaf
+		offset := uint32(2) * uint32(p.T)
+		for h := 0; h < p.LogT; h++ {
+			sib := auth[h*p.N : (h+1)*p.N]
+			nodeAdrs.SetTreeHeight(uint32(h + 1))
+			offset >>= 1
+			nodeAdrs.SetTreeIndex(offset + idx>>1)
+			if idx&1 == 0 {
+				ctx.H(node, node, sib, &nodeAdrs)
+			} else {
+				ctx.H(node, sib, node, &nodeAdrs)
+			}
+			idx >>= 1
+		}
+		if !bytes.Equal(node, root) {
+			t.Fatalf("leaf %d: climbed root mismatch", leaf)
+		}
+	}
+}
+
+// TestLeafDomainSeparation: leaves of different trees and positions differ.
+func TestLeafDomainSeparation(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := forsAdrs(0, 0)
+	a := make([]byte, p.N)
+	b := make([]byte, p.N)
+	LeafNode(ctx, a, adrs, 0, 5)
+	LeafNode(ctx, b, adrs, 1, 5)
+	if bytes.Equal(a, b) {
+		t.Fatal("same leaf across trees")
+	}
+	LeafNode(ctx, b, adrs, 0, 6)
+	if bytes.Equal(a, b) {
+		t.Fatal("same leaf across positions")
+	}
+}
+
+// TestKeyPairSeparation: the same FORS geometry under different hypertree
+// leaf key pairs yields different public keys (multi-instance separation).
+func TestKeyPairSeparation(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	md := make([]byte, p.ForsMsgBytes)
+	sig := make([]byte, p.ForsBytes)
+	pk1 := Sign(ctx, sig, md, forsAdrs(10, 1))
+	pk2 := Sign(ctx, sig, md, forsAdrs(10, 2))
+	if bytes.Equal(pk1, pk2) {
+		t.Fatal("different key pairs share a FORS pk")
+	}
+}
+
+// TestQuickSignRecover property-checks sign/recover over random messages.
+func TestQuickSignRecover(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := forsAdrs(8, 9)
+	f := func(raw []byte) bool {
+		md := make([]byte, p.ForsMsgBytes)
+		copy(md, raw)
+		sig := make([]byte, p.ForsBytes)
+		pk := Sign(ctx, sig, md, adrs)
+		return bytes.Equal(pk, PKFromSig(ctx, sig, md, adrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package hashes implements the SPHINCS+ SHA-2 tweakable hash functions
+// (F, H, T_l), the secret-key PRF, the message randomizer PRF_msg and the
+// message digest H_msg, in the "simple" construction:
+//
+//	thash(ADRS, M)  = Trunc_n( SHA-256( BlockPad(PK.seed) || ADRS_c || M ) )
+//	PRF(ADRS)       = Trunc_n( SHA-256( BlockPad(PK.seed) || ADRS_c || SK.seed ) )
+//	PRF_msg(R, M)   = Trunc_n( HMAC-SHA-X( SK.prf, OptRand || M ) )
+//	H_msg(R, M)     = MGF1-SHA-X( R || PK.seed || SHA-X(R || PK.seed || PK.root || M), m )
+//
+// where BlockPad pads PK.seed with zeros to one full compression block, so
+// its midstate is computed once per context and reused for every call —
+// the same precomputation CUDA implementations keep in constant memory.
+//
+// A Ctx carries an optional *Counters so that callers (the GPU simulator's
+// kernels) can attribute exact compression-function counts to every
+// invocation without re-implementing any cryptography.
+package hashes
+
+import (
+	"herosign/internal/sha2"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/params"
+)
+
+// Counters accumulates hash-level work. All fields count events since the
+// counter was attached (or reset). A nil *Counters disables counting.
+type Counters struct {
+	Compress256 int64 // SHA-256 compression-function invocations
+	Compress512 int64 // SHA-512 compression-function invocations
+	Thash       int64 // F/H/T_l calls
+	PRF         int64 // secret-key PRF calls
+	Bytes       int64 // message bytes absorbed (excluding the padded seed block)
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.Compress256 += other.Compress256
+	c.Compress512 += other.Compress512
+	c.Thash += other.Thash
+	c.PRF += other.PRF
+	c.Bytes += other.Bytes
+}
+
+// Ctx binds a parameter set to key material and caches the seeded SHA-256
+// midstate. Ctx is NOT safe for concurrent use when a counter is attached or
+// when methods share the scratch buffer; create one Ctx per worker.
+type Ctx struct {
+	P      *params.Params
+	PKSeed []byte
+	SKSeed []byte // may be nil for verify-only contexts
+
+	C *Counters // optional; may be nil
+
+	seeded  sha2.State256 // midstate after absorbing BlockPad(PK.seed)
+	scratch []byte
+}
+
+// NewCtx builds a hash context. skSeed may be nil when only public
+// operations (verification) are needed.
+func NewCtx(p *params.Params, pkSeed, skSeed []byte) *Ctx {
+	if len(pkSeed) != p.N {
+		panic("hashes: pk seed length mismatch")
+	}
+	if skSeed != nil && len(skSeed) != p.N {
+		panic("hashes: sk seed length mismatch")
+	}
+	c := &Ctx{
+		P:       p,
+		PKSeed:  append([]byte(nil), pkSeed...),
+		scratch: make([]byte, 0, 256),
+	}
+	if skSeed != nil {
+		c.SKSeed = append([]byte(nil), skSeed...)
+	}
+	var block [sha2.BlockSize256]byte
+	copy(block[:], pkSeed)
+	h := sha2.New256()
+	h.Write(block[:])
+	c.seeded = h.Midstate()
+	return c
+}
+
+// Clone returns a copy of the context with its own scratch space and the
+// given counter attached (counter may be nil). Used to give each simulated
+// GPU thread an independent counting context over shared key material.
+func (c *Ctx) Clone(counter *Counters) *Ctx {
+	dup := *c
+	dup.scratch = make([]byte, 0, 256)
+	dup.C = counter
+	return &dup
+}
+
+// countThash charges one thash over msgLen message bytes (past the seed
+// block) to the attached counter.
+func (c *Ctx) countThash(msgLen int) {
+	if c.C == nil {
+		return
+	}
+	c.C.Thash++
+	c.C.Bytes += int64(msgLen)
+	// Total absorbed: one seed block (cached midstate — on GPU this is a
+	// constant-memory preimage, but the compression for it still ran once;
+	// we charge only the non-cached part, matching what the kernel executes)
+	// plus the address and message.
+	c.C.Compress256 += int64(sha2.CompressionBlocks256(sha2.BlockSize256+msgLen) - 1)
+}
+
+// Thash computes the tweakable hash of in (a multiple of N bytes) under
+// adrs, writing N bytes to out. It implements F (one block), H (two blocks)
+// and T_l (l blocks) uniformly.
+func (c *Ctx) Thash(out []byte, in []byte, adrs *address.Address) {
+	comp := adrs.Compressed()
+	h := sha2.New256()
+	h.SetMidstate(c.seeded, sha2.BlockSize256)
+	h.Write(comp[:])
+	h.Write(in)
+	c.scratch = h.Sum(c.scratch[:0])
+	copy(out[:c.P.N], c.scratch)
+	c.countThash(address.CompressedSize + len(in))
+}
+
+// F is the single-input tweakable hash used in WOTS+ chains and FORS leaves.
+func (c *Ctx) F(out, in []byte, adrs *address.Address) {
+	c.Thash(out, in[:c.P.N], adrs)
+}
+
+// H is the two-input tweakable hash used for Merkle-tree node compression.
+// left and right are N-byte nodes.
+func (c *Ctx) H(out, left, right []byte, adrs *address.Address) {
+	comp := adrs.Compressed()
+	h := sha2.New256()
+	h.SetMidstate(c.seeded, sha2.BlockSize256)
+	h.Write(comp[:])
+	h.Write(left[:c.P.N])
+	h.Write(right[:c.P.N])
+	c.scratch = h.Sum(c.scratch[:0])
+	copy(out[:c.P.N], c.scratch)
+	c.countThash(address.CompressedSize + 2*c.P.N)
+}
+
+// PRF derives an N-byte secret value for adrs from SK.seed.
+func (c *Ctx) PRF(out []byte, adrs *address.Address) {
+	if c.SKSeed == nil {
+		panic("hashes: PRF requires a secret context")
+	}
+	comp := adrs.Compressed()
+	h := sha2.New256()
+	h.SetMidstate(c.seeded, sha2.BlockSize256)
+	h.Write(comp[:])
+	h.Write(c.SKSeed)
+	c.scratch = h.Sum(c.scratch[:0])
+	copy(out[:c.P.N], c.scratch)
+	if c.C != nil {
+		msgLen := address.CompressedSize + c.P.N
+		c.C.PRF++
+		c.C.Bytes += int64(msgLen)
+		c.C.Compress256 += int64(sha2.CompressionBlocks256(sha2.BlockSize256+msgLen) - 1)
+	}
+}
+
+// PRFMsg computes the message randomizer R from SK.prf, optRand and the
+// message.
+func PRFMsg(p *params.Params, skPRF, optRand, msg []byte) []byte {
+	buf := make([]byte, 0, len(optRand)+len(msg))
+	buf = append(buf, optRand...)
+	buf = append(buf, msg...)
+	if p.UsesSHA512Msg() {
+		mac := sha2.HMAC512(skPRF, buf)
+		return append([]byte(nil), mac[:p.N]...)
+	}
+	mac := sha2.HMAC256(skPRF, buf)
+	return append([]byte(nil), mac[:p.N]...)
+}
+
+// HMsg computes the (MDBytes + TreeIdxBytes + LeafIdxBytes)-byte message
+// digest from the randomizer, public key and message.
+func HMsg(p *params.Params, r, pkSeed, pkRoot, msg []byte) []byte {
+	inner := make([]byte, 0, 3*p.N+len(msg))
+	inner = append(inner, r...)
+	inner = append(inner, pkSeed...)
+	inner = append(inner, pkRoot...)
+	inner = append(inner, msg...)
+
+	if p.UsesSHA512Msg() {
+		ih := sha2.Sum512(inner)
+		seed := make([]byte, 0, 2*p.N+sha2.Size512)
+		seed = append(seed, r...)
+		seed = append(seed, pkSeed...)
+		seed = append(seed, ih[:]...)
+		return sha2.MGF1_512(seed, p.DigestBytes)
+	}
+	ih := sha2.Sum256(inner)
+	seed := make([]byte, 0, 2*p.N+sha2.Size256)
+	seed = append(seed, r...)
+	seed = append(seed, pkSeed...)
+	seed = append(seed, ih[:]...)
+	return sha2.MGF1_256(seed, p.DigestBytes)
+}
+
+// SplitDigest splits an H_msg digest into the FORS message md, the hypertree
+// index and the leaf index, per the specification's bit layout.
+func SplitDigest(p *params.Params, digest []byte) (md []byte, treeIdx uint64, leafIdx uint32) {
+	md = digest[:p.MDBytes]
+	treeBytes := digest[p.MDBytes : p.MDBytes+p.TreeIdxBytes]
+	leafBytes := digest[p.MDBytes+p.TreeIdxBytes : p.DigestBytes]
+
+	for _, b := range treeBytes {
+		treeIdx = treeIdx<<8 | uint64(b)
+	}
+	treeBits := uint(p.H - p.TreeHeight)
+	if treeBits < 64 {
+		treeIdx &= (1 << treeBits) - 1
+	}
+
+	var leaf uint64
+	for _, b := range leafBytes {
+		leaf = leaf<<8 | uint64(b)
+	}
+	leaf &= (1 << uint(p.TreeHeight)) - 1
+	return md, treeIdx, uint32(leaf)
+}
+
+// MessageToIndices extracts the K FORS leaf indices (LogT bits each,
+// LSB-first within the bitstream, matching the reference implementation)
+// from the md portion of the digest.
+func MessageToIndices(p *params.Params, md []byte) []uint32 {
+	indices := make([]uint32, p.K)
+	offset := 0
+	for i := 0; i < p.K; i++ {
+		var idx uint32
+		for j := 0; j < p.LogT; j++ {
+			idx ^= uint32((md[offset>>3]>>(offset&7))&1) << uint(j)
+			offset++
+		}
+		indices[i] = idx
+	}
+	return indices
+}

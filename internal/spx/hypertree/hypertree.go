@@ -1,0 +1,57 @@
+// Package hypertree implements the SPHINCS+ hypertree: d layers of XMSS
+// subtrees where each subtree root is signed by a leaf of the layer above.
+package hypertree
+
+import (
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/xmss"
+)
+
+// Sign signs msg (the FORS public key) with the hypertree path selected by
+// (treeIdx, leafIdx), writing D XMSS signatures into sig (D*XMSSBytes) and
+// returning the top-layer root (which must equal PK.root).
+func Sign(ctx *hashes.Ctx, sig, msg []byte, treeIdx uint64, leafIdx uint32) []byte {
+	p := ctx.P
+	root := append([]byte(nil), msg...)
+	for layer := 0; layer < p.D; layer++ {
+		var treeAdrs address.Address
+		treeAdrs.SetLayer(uint32(layer))
+		treeAdrs.SetTree(treeIdx)
+		layerSig := sig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
+		root = xmss.Sign(ctx, layerSig, root, &treeAdrs, leafIdx)
+		// Update indices for the next layer (paper Fig. 2 snippet).
+		leafIdx = uint32(treeIdx & ((1 << uint(p.TreeHeight)) - 1))
+		treeIdx >>= uint(p.TreeHeight)
+	}
+	return root
+}
+
+// PKFromSig recomputes the hypertree root from the D stacked XMSS
+// signatures; verification compares it with PK.root.
+func PKFromSig(ctx *hashes.Ctx, sig, msg []byte, treeIdx uint64, leafIdx uint32) []byte {
+	p := ctx.P
+	node := append([]byte(nil), msg...)
+	for layer := 0; layer < p.D; layer++ {
+		var treeAdrs address.Address
+		treeAdrs.SetLayer(uint32(layer))
+		treeAdrs.SetTree(treeIdx)
+		layerSig := sig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
+		node = xmss.PKFromSig(ctx, layerSig, node, &treeAdrs, leafIdx)
+		leafIdx = uint32(treeIdx & ((1 << uint(p.TreeHeight)) - 1))
+		treeIdx >>= uint(p.TreeHeight)
+	}
+	return node
+}
+
+// Root computes the hypertree public root (the root of subtree 0 at the top
+// layer) for key generation.
+func Root(ctx *hashes.Ctx) []byte {
+	p := ctx.P
+	var treeAdrs address.Address
+	treeAdrs.SetLayer(uint32(p.D - 1))
+	treeAdrs.SetTree(0)
+	root := make([]byte, p.N)
+	xmss.TreeHash(ctx, root, &treeAdrs, 0, nil)
+	return root
+}

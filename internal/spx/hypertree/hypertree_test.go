@@ -1,0 +1,92 @@
+package hypertree
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+func testCtx(t testing.TB, p *params.Params) *hashes.Ctx {
+	t.Helper()
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(i + 29)
+		skSeed[i] = byte(7 * i)
+	}
+	return hashes.NewCtx(p, pkSeed, skSeed)
+}
+
+// TestSignReturnsPublicRoot: Sign's final root equals Root() regardless of
+// the signing path, which is the hypertree's defining property.
+func TestSignReturnsPublicRoot(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	pub := Root(ctx)
+
+	msg := make([]byte, p.N)
+	for i := range msg {
+		msg[i] = byte(i * 9)
+	}
+	for _, path := range []struct {
+		tree uint64
+		leaf uint32
+	}{{0, 0}, {1, 3}, {0xFFFFFFFF, 7}, {1 << 40, 5}} {
+		sig := make([]byte, p.D*p.XMSSBytes)
+		root := Sign(ctx, sig, msg, path.tree, path.leaf)
+		if !bytes.Equal(root, pub) {
+			t.Fatalf("path (%d,%d): root differs from public root", path.tree, path.leaf)
+		}
+		rec := PKFromSig(ctx, sig, msg, path.tree, path.leaf)
+		if !bytes.Equal(rec, pub) {
+			t.Fatalf("path (%d,%d): recovery differs from public root", path.tree, path.leaf)
+		}
+	}
+}
+
+// TestRecoverRejectsWrongPath: presenting a valid signature under a
+// different (tree, leaf) must not reach the public root.
+func TestRecoverRejectsWrongPath(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	pub := Root(ctx)
+	msg := make([]byte, p.N)
+	sig := make([]byte, p.D*p.XMSSBytes)
+	Sign(ctx, sig, msg, 5, 2)
+	if bytes.Equal(PKFromSig(ctx, sig, msg, 5, 3), pub) {
+		t.Fatal("wrong leaf accepted")
+	}
+	if bytes.Equal(PKFromSig(ctx, sig, msg, 6, 2), pub) {
+		t.Fatal("wrong tree accepted")
+	}
+}
+
+// TestRecoverRejectsTamperedLayers: a bit flip in any layer's region breaks
+// recovery.
+func TestRecoverRejectsTamperedLayers(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	pub := Root(ctx)
+	msg := make([]byte, p.N)
+	sig := make([]byte, p.D*p.XMSSBytes)
+	Sign(ctx, sig, msg, 9, 1)
+	for layer := 0; layer < p.D; layer += 7 {
+		bad := append([]byte(nil), sig...)
+		bad[layer*p.XMSSBytes] ^= 1
+		if bytes.Equal(PKFromSig(ctx, bad, msg, 9, 1), pub) {
+			t.Fatalf("tampered layer %d accepted", layer)
+		}
+	}
+}
+
+// TestRootDeterministic: Root is a pure function of the key material.
+func TestRootDeterministic(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	a := Root(testCtx(t, p))
+	b := Root(testCtx(t, p))
+	if !bytes.Equal(a, b) {
+		t.Fatal("Root not deterministic")
+	}
+}

@@ -1,0 +1,74 @@
+package spx
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"herosign/internal/spx/params"
+)
+
+// Known-answer regression vectors. Keys derive from the fixed seed pattern
+// skSeed[i]=i, skPRF[i]=i+1, pkSeed[i]=i+2; the message is fixed; signing is
+// deterministic (OptRand = PK.seed). Any change to the hash construction,
+// address scheme, WOTS+/FORS/hypertree logic or signature layout changes
+// these digests.
+//
+// The vectors are self-generated (no offline NIST KAT source is available
+// in this environment) and pin the implementation against regressions; the
+// cross-implementation guarantee comes from the GPU-vs-CPU byte-equality
+// tests.
+var katVectors = map[string]struct {
+	Root      string // hex PK.root
+	SigDigest string // hex SHA-256 of the signature
+}{
+	"SPHINCS+-128s": {Root: "a8ed535f7c32dbdd0440a1d944c403d2", SigDigest: "731954f84fe8b81d6d10263a8fafa559c9ef756af14def62c8d985efcaf360d4"},
+	"SPHINCS+-128f": {Root: "3cfce46337d799113d0482b3db324630", SigDigest: "cf26caba9de6808f28dd1890bae38d84abac72fc76054404331dd87d2aa658a0"},
+	"SPHINCS+-192s": {Root: "37658c94564c0e92df1c4b2a12e4d2d87fe5c91071f66b2d", SigDigest: "a12a5254caadd8b0ae7c0ba23c21b0a1b76788162c18f8f27986618efa5002f8"},
+	"SPHINCS+-192f": {Root: "d84e7f7921a9a443915dc4c884c566516bfe1105a3aa804f", SigDigest: "aefef36414614d6926205a19ab5ef2f3c9062039f9c6da7a22c3ee038ebe006d"},
+	"SPHINCS+-256s": {Root: "033da88c3a7d82259405654af2f9b92092f59720f9124a01620d5782bb210ebb", SigDigest: "987cd8673bb84cb4080437d579258357b09f40bcfe981e71607ac7cfc8c099c2"},
+	"SPHINCS+-256f": {Root: "3c7ea53785e268429694dbb74c65f040cddffe1105da622f70ef5d3416c55ac6", SigDigest: "087e2ef324351c6321ccbc32f22c45041709a617eb7a453f0d92effb1708a249"},
+}
+
+// TestKnownAnswerVectors pins public roots and signature digests for every
+// parameter set. In -short mode only the 128-bit sets run.
+func TestKnownAnswerVectors(t *testing.T) {
+	sets := params.AllSets()
+	if testing.Short() {
+		sets = []*params.Params{params.SPHINCSPlus128s, params.SPHINCSPlus128f}
+	}
+	msg := []byte("HERO-Sign known-answer test message")
+	for _, p := range sets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			skSeed := make([]byte, p.N)
+			skPRF := make([]byte, p.N)
+			pkSeed := make([]byte, p.N)
+			for i := range skSeed {
+				skSeed[i] = byte(i)
+				skPRF[i] = byte(i + 1)
+				pkSeed[i] = byte(i + 2)
+			}
+			sk, err := KeyFromSeeds(p, skSeed, skPRF, pkSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := katVectors[p.Name]
+			if got := hex.EncodeToString(sk.Root); got != want.Root {
+				t.Fatalf("PK.root = %s, want %s", got, want.Root)
+			}
+			sig, err := Sign(sk, msg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := sha256.Sum256(sig)
+			if got := hex.EncodeToString(d[:]); got != want.SigDigest {
+				t.Fatalf("signature digest = %s, want %s", got, want.SigDigest)
+			}
+			if err := Verify(&sk.PublicKey, msg, sig); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

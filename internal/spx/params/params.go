@@ -1,0 +1,184 @@
+// Package params defines the SPHINCS+ parameter sets and all quantities
+// derived from them (WOTS+ chain counts, FORS geometry, signature layout).
+//
+// The values follow Table I of the HERO-Sign paper, which are the standard
+// SPHINCS+ round-3 parameter sets. The paper evaluates the -f ("fast")
+// variants; the -s ("small") variants are included for completeness because
+// the library is meant to be adoptable beyond the paper's evaluation.
+package params
+
+import "fmt"
+
+// HashMode selects which SHA-2 function backs the tweakable hashes.
+type HashMode int
+
+const (
+	// SHA256Everywhere uses SHA-256 for every hash role. This is the paper's
+	// stated baseline ("We select SHA-256 as the hash function baseline").
+	SHA256Everywhere HashMode = iota
+	// SHA512Msg follows the round-3.1 rule: H_msg and PRF_msg use SHA-512 at
+	// security levels 3 and 5 (n >= 24). Thash/F/H/T and PRF stay SHA-256.
+	SHA512Msg
+)
+
+// Params holds one SPHINCS+ parameter set plus derived constants.
+type Params struct {
+	Name string
+
+	// Core parameters (paper Table I).
+	N    int // bytes of hash output, seeds and nodes
+	H    int // total hypertree height
+	D    int // hypertree layers
+	LogT int // height of each FORS tree (log2 t)
+	K    int // number of FORS trees
+	W    int // Winternitz parameter
+
+	// Hash selection.
+	Mode HashMode
+
+	// Derived WOTS+ constants.
+	LogW      int // log2(W)
+	WOTSLen1  int // message chains
+	WOTSLen2  int // checksum chains
+	WOTSLen   int // total chains
+	WOTSBytes int // bytes of one WOTS+ signature (WOTSLen * N)
+
+	// Derived FORS constants.
+	T            int // leaves per FORS tree (2^LogT)
+	ForsMsgBytes int // ceil(K*LogT/8)
+	ForsBytes    int // bytes of a FORS signature: K*(LogT+1)*N
+	ForsPKBytes  int // N
+
+	// Derived hypertree constants.
+	TreeHeight int // H / D, height of each XMSS subtree
+	XMSSBytes  int // bytes of one XMSS signature: (WOTSLen + TreeHeight) * N
+
+	// Message digest layout (H_msg output split).
+	MDBytes      int // ceil(K*LogT/8)
+	TreeIdxBytes int // ceil((H - H/D)/8)
+	LeafIdxBytes int // ceil((H/D)/8)
+	DigestBytes  int // MDBytes + TreeIdxBytes + LeafIdxBytes
+
+	// Signature and key sizes.
+	SigBytes int // N + ForsBytes + D*XMSSBytes
+	PKBytes  int // 2N
+	SKBytes  int // 4N
+}
+
+// derive fills in every derived field from the core parameters.
+func (p *Params) derive() {
+	p.LogW = log2(p.W)
+	p.WOTSLen1 = (8*p.N + p.LogW - 1) / p.LogW
+	// len2 = floor(log2(len1*(w-1)) / log2(w)) + 1
+	p.WOTSLen2 = log2floor(p.WOTSLen1*(p.W-1))/p.LogW + 1
+	p.WOTSLen = p.WOTSLen1 + p.WOTSLen2
+	p.WOTSBytes = p.WOTSLen * p.N
+
+	p.T = 1 << p.LogT
+	p.ForsMsgBytes = (p.K*p.LogT + 7) / 8
+	p.ForsBytes = p.K * (p.LogT + 1) * p.N
+	p.ForsPKBytes = p.N
+
+	p.TreeHeight = p.H / p.D
+	p.XMSSBytes = (p.WOTSLen + p.TreeHeight) * p.N
+
+	p.MDBytes = p.ForsMsgBytes
+	p.TreeIdxBytes = (p.H - p.TreeHeight + 7) / 8
+	p.LeafIdxBytes = (p.TreeHeight + 7) / 8
+	p.DigestBytes = p.MDBytes + p.TreeIdxBytes + p.LeafIdxBytes
+
+	p.SigBytes = p.N + p.ForsBytes + p.D*p.XMSSBytes
+	p.PKBytes = 2 * p.N
+	p.SKBytes = 4 * p.N
+}
+
+// Validate performs internal consistency checks and returns an error when
+// the parameter set is malformed.
+func (p *Params) Validate() error {
+	switch {
+	case p.N != 16 && p.N != 24 && p.N != 32:
+		return fmt.Errorf("params %s: unsupported n=%d", p.Name, p.N)
+	case p.W != 16 && p.W != 256:
+		return fmt.Errorf("params %s: unsupported w=%d", p.Name, p.W)
+	case p.H%p.D != 0:
+		return fmt.Errorf("params %s: d=%d does not divide h=%d", p.Name, p.D, p.H)
+	case p.LogT < 1 || p.LogT > 24:
+		return fmt.Errorf("params %s: log t=%d out of range", p.Name, p.LogT)
+	case p.K < 1:
+		return fmt.Errorf("params %s: k=%d out of range", p.Name, p.K)
+	case p.TreeHeight > 25:
+		return fmt.Errorf("params %s: tree height %d too large", p.Name, p.TreeHeight)
+	}
+	return nil
+}
+
+// UsesSHA512Msg reports whether H_msg / PRF_msg run on SHA-512 under the
+// configured mode at this security level.
+func (p *Params) UsesSHA512Msg() bool {
+	return p.Mode == SHA512Msg && p.N >= 24
+}
+
+// WithMode returns a copy of p using the given hash mode.
+func (p Params) WithMode(m HashMode) *Params {
+	p.Mode = m
+	return &p
+}
+
+// String returns the canonical set name.
+func (p *Params) String() string { return p.Name }
+
+func log2(x int) int {
+	n := 0
+	for 1<<uint(n+1) <= x {
+		n++
+	}
+	return n
+}
+
+func log2floor(x int) int { return log2(x) }
+
+func mk(name string, n, h, d, logt, k, w int) *Params {
+	p := &Params{Name: name, N: n, H: h, D: d, LogT: logt, K: k, W: w}
+	p.derive()
+	if err := p.Validate(); err != nil {
+		panic(err) // parameter tables are compile-time constants
+	}
+	return p
+}
+
+// The six standard SPHINCS+ round-3 parameter sets. The -f rows match the
+// paper's Table I exactly.
+var (
+	SPHINCSPlus128s = mk("SPHINCS+-128s", 16, 63, 7, 12, 14, 16)
+	SPHINCSPlus128f = mk("SPHINCS+-128f", 16, 66, 22, 6, 33, 16)
+	SPHINCSPlus192s = mk("SPHINCS+-192s", 24, 63, 7, 14, 17, 16)
+	SPHINCSPlus192f = mk("SPHINCS+-192f", 24, 66, 22, 8, 33, 16)
+	SPHINCSPlus256s = mk("SPHINCS+-256s", 32, 64, 8, 14, 22, 16)
+	SPHINCSPlus256f = mk("SPHINCS+-256f", 32, 68, 17, 9, 35, 16)
+)
+
+// FastSets lists the three -f parameter sets the paper evaluates, in the
+// order the paper's tables use.
+func FastSets() []*Params {
+	return []*Params{SPHINCSPlus128f, SPHINCSPlus192f, SPHINCSPlus256f}
+}
+
+// AllSets lists every built-in parameter set.
+func AllSets() []*Params {
+	return []*Params{
+		SPHINCSPlus128s, SPHINCSPlus128f,
+		SPHINCSPlus192s, SPHINCSPlus192f,
+		SPHINCSPlus256s, SPHINCSPlus256f,
+	}
+}
+
+// ByName resolves a parameter set from its canonical name (case-sensitive),
+// also accepting short forms like "128f".
+func ByName(name string) (*Params, error) {
+	for _, p := range AllSets() {
+		if p.Name == name || p.Name == "SPHINCS+-"+name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("params: unknown parameter set %q", name)
+}

@@ -1,0 +1,134 @@
+package params
+
+import "testing"
+
+// TestTableI pins the paper's Table I exactly.
+func TestTableI(t *testing.T) {
+	cases := []struct {
+		p                *Params
+		n, h, d, logt, k int
+	}{
+		{SPHINCSPlus128f, 16, 66, 22, 6, 33},
+		{SPHINCSPlus192f, 24, 66, 22, 8, 33},
+		{SPHINCSPlus256f, 32, 68, 17, 9, 35},
+	}
+	for _, c := range cases {
+		if c.p.N != c.n || c.p.H != c.h || c.p.D != c.d || c.p.LogT != c.logt || c.p.K != c.k {
+			t.Errorf("%s: (%d,%d,%d,%d,%d)", c.p.Name, c.p.N, c.p.H, c.p.D, c.p.LogT, c.p.K)
+		}
+		if c.p.W != 16 {
+			t.Errorf("%s: w = %d", c.p.Name, c.p.W)
+		}
+	}
+}
+
+// TestDerivedGeometry checks quantities the paper references in prose:
+// hypertree leaf counts 176/176/272 (§III-B1) and FORS leaf counts
+// 2112/8448/17920.
+func TestDerivedGeometry(t *testing.T) {
+	cases := map[string]struct{ htLeaves, forsLeaves int }{
+		"SPHINCS+-128f": {176, 2112},
+		"SPHINCS+-192f": {176, 8448},
+		"SPHINCS+-256f": {272, 17920},
+	}
+	for _, p := range FastSets() {
+		want := cases[p.Name]
+		htLeaves := p.D * (1 << uint(p.TreeHeight))
+		if htLeaves != want.htLeaves {
+			t.Errorf("%s: hypertree leaves %d, want %d", p.Name, htLeaves, want.htLeaves)
+		}
+		forsLeaves := p.K * p.T
+		if forsLeaves != want.forsLeaves {
+			t.Errorf("%s: FORS leaves %d, want %d", p.Name, forsLeaves, want.forsLeaves)
+		}
+	}
+}
+
+// TestForsSharedMemoryFootprints checks the §III-B1 shared-memory
+// arithmetic: 33 KB / 198 KB / 560 KB for all FORS leaves at once.
+func TestForsSharedMemoryFootprints(t *testing.T) {
+	want := map[string]int{
+		"SPHINCS+-128f": 33 * 1024,
+		"SPHINCS+-192f": 198 * 1024,
+		"SPHINCS+-256f": 560 * 1024,
+	}
+	for _, p := range FastSets() {
+		if got := p.K * p.T * p.N; got != want[p.Name] {
+			t.Errorf("%s: FORS footprint %d, want %d", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+// TestWotsGenLeafHashCounts checks the §III-C2 claim: one wots_gen_leaf
+// performs 560/816/1072 hash computations (len x w chain steps).
+func TestWotsGenLeafHashCounts(t *testing.T) {
+	want := map[string]int{
+		"SPHINCS+-128f": 560,
+		"SPHINCS+-192f": 816,
+		"SPHINCS+-256f": 1072,
+	}
+	for _, p := range FastSets() {
+		if got := p.WOTSLen * p.W; got != want[p.Name] {
+			t.Errorf("%s: wots_gen_leaf hashes %d, want %d", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+// TestValidateCatchesBadParams exercises the validator.
+func TestValidateCatchesBadParams(t *testing.T) {
+	bad := []Params{
+		{Name: "bad-n", N: 20, H: 66, D: 22, LogT: 6, K: 33, W: 16},
+		{Name: "bad-w", N: 16, H: 66, D: 22, LogT: 6, K: 33, W: 17},
+		{Name: "bad-d", N: 16, H: 66, D: 23, LogT: 6, K: 33, W: 16},
+		{Name: "bad-k", N: 16, H: 66, D: 22, LogT: 6, K: 0, W: 16},
+	}
+	for i := range bad {
+		p := bad[i]
+		p.LogW = 4
+		p.TreeHeight = p.H / max(p.D, 1)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", p.Name)
+		}
+	}
+	for _, p := range AllSets() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s rejected: %v", p.Name, err)
+		}
+	}
+}
+
+// TestByNameForms covers the short and full lookup forms.
+func TestByNameForms(t *testing.T) {
+	p, err := ByName("192f")
+	if err != nil || p != SPHINCSPlus192f {
+		t.Fatalf("short form lookup: %v %v", p, err)
+	}
+	p, err = ByName("SPHINCS+-256s")
+	if err != nil || p != SPHINCSPlus256s {
+		t.Fatalf("full form lookup: %v %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}
+
+// TestWithModeCopies ensures WithMode does not mutate the shared set.
+func TestWithModeCopies(t *testing.T) {
+	p := SPHINCSPlus256f.WithMode(SHA512Msg)
+	if !p.UsesSHA512Msg() {
+		t.Fatal("mode not applied")
+	}
+	if SPHINCSPlus256f.UsesSHA512Msg() {
+		t.Fatal("WithMode mutated the global parameter set")
+	}
+	if SPHINCSPlus128f.WithMode(SHA512Msg).UsesSHA512Msg() {
+		t.Fatal("SHA512Msg must not apply at level 1")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package spx
+
+import (
+	"fmt"
+
+	"herosign/internal/spx/params"
+)
+
+// Signature is the structural view of a SPHINCS+ signature: the randomizer,
+// the k FORS items (revealed secret + authentication path each) and the d
+// hypertree layers (WOTS+ signature + authentication path each).
+//
+// Parsing is zero-copy: all slices alias the input buffer.
+type Signature struct {
+	Params *params.Params
+	R      []byte
+	Fors   []ForsItem
+	Layers []LayerSig
+}
+
+// ForsItem is one FORS tree's contribution.
+type ForsItem struct {
+	SK   []byte // revealed leaf secret, N bytes
+	Auth []byte // LogT sibling nodes, LogT*N bytes
+}
+
+// LayerSig is one hypertree layer's contribution.
+type LayerSig struct {
+	Wots []byte // WOTSLen chain values, WOTSLen*N bytes
+	Auth []byte // TreeHeight sibling nodes, TreeHeight*N bytes
+}
+
+// ParseSignature splits sig into its structural components.
+func ParseSignature(p *params.Params, sig []byte) (*Signature, error) {
+	if len(sig) != p.SigBytes {
+		return nil, fmt.Errorf("spx: signature must be %d bytes, got %d", p.SigBytes, len(sig))
+	}
+	s := &Signature{Params: p, R: sig[:p.N]}
+	off := p.N
+	itemBytes := (p.LogT + 1) * p.N
+	for i := 0; i < p.K; i++ {
+		item := sig[off : off+itemBytes]
+		s.Fors = append(s.Fors, ForsItem{SK: item[:p.N], Auth: item[p.N:]})
+		off += itemBytes
+	}
+	for l := 0; l < p.D; l++ {
+		layer := sig[off : off+p.XMSSBytes]
+		s.Layers = append(s.Layers, LayerSig{
+			Wots: layer[:p.WOTSBytes],
+			Auth: layer[p.WOTSBytes:],
+		})
+		off += p.XMSSBytes
+	}
+	if off != p.SigBytes {
+		return nil, fmt.Errorf("spx: internal layout error at offset %d", off)
+	}
+	return s, nil
+}
+
+// Encode reassembles the signature buffer. The output is a fresh slice.
+func (s *Signature) Encode() []byte {
+	p := s.Params
+	out := make([]byte, 0, p.SigBytes)
+	out = append(out, s.R...)
+	for _, f := range s.Fors {
+		out = append(out, f.SK...)
+		out = append(out, f.Auth...)
+	}
+	for _, l := range s.Layers {
+		out = append(out, l.Wots...)
+		out = append(out, l.Auth...)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package spx is the pure-Go reference implementation of the SPHINCS+
+// stateless hash-based signature scheme (SHA-2 instantiation, simple
+// construction), assembled from the component packages wots, fors, xmss and
+// hypertree.
+//
+// This implementation is the repository's correctness oracle: every
+// GPU-simulated signer (internal/baseline, internal/core) must produce
+// byte-identical signatures, and all of them must verify here.
+package spx
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/fors"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/hypertree"
+	"herosign/internal/spx/params"
+)
+
+// PublicKey is a SPHINCS+ public key: (PK.seed, PK.root).
+type PublicKey struct {
+	Params *params.Params
+	Seed   []byte // N bytes
+	Root   []byte // N bytes
+}
+
+// PrivateKey is a SPHINCS+ private key: (SK.seed, SK.prf, PK.seed, PK.root).
+type PrivateKey struct {
+	PublicKey
+	SKSeed []byte // N bytes
+	SKPRF  []byte // N bytes
+}
+
+// Bytes serializes the public key as PK.seed || PK.root.
+func (pk *PublicKey) Bytes() []byte {
+	out := make([]byte, 0, pk.Params.PKBytes)
+	out = append(out, pk.Seed...)
+	return append(out, pk.Root...)
+}
+
+// ParsePublicKey deserializes a public key.
+func ParsePublicKey(p *params.Params, b []byte) (*PublicKey, error) {
+	if len(b) != p.PKBytes {
+		return nil, fmt.Errorf("spx: public key must be %d bytes, got %d", p.PKBytes, len(b))
+	}
+	return &PublicKey{
+		Params: p,
+		Seed:   append([]byte(nil), b[:p.N]...),
+		Root:   append([]byte(nil), b[p.N:]...),
+	}, nil
+}
+
+// Bytes serializes the private key as SK.seed || SK.prf || PK.seed || PK.root.
+func (sk *PrivateKey) Bytes() []byte {
+	out := make([]byte, 0, sk.Params.SKBytes)
+	out = append(out, sk.SKSeed...)
+	out = append(out, sk.SKPRF...)
+	out = append(out, sk.Seed...)
+	return append(out, sk.Root...)
+}
+
+// ParsePrivateKey deserializes a private key.
+func ParsePrivateKey(p *params.Params, b []byte) (*PrivateKey, error) {
+	if len(b) != p.SKBytes {
+		return nil, fmt.Errorf("spx: private key must be %d bytes, got %d", p.SKBytes, len(b))
+	}
+	sk := &PrivateKey{
+		PublicKey: PublicKey{
+			Params: p,
+			Seed:   append([]byte(nil), b[2*p.N:3*p.N]...),
+			Root:   append([]byte(nil), b[3*p.N:]...),
+		},
+		SKSeed: append([]byte(nil), b[:p.N]...),
+		SKPRF:  append([]byte(nil), b[p.N:2*p.N]...),
+	}
+	return sk, nil
+}
+
+// GenerateKey creates a key pair from fresh randomness (crypto/rand).
+func GenerateKey(p *params.Params) (*PrivateKey, error) {
+	seeds := make([]byte, 3*p.N)
+	if _, err := rand.Read(seeds); err != nil {
+		return nil, err
+	}
+	return KeyFromSeeds(p, seeds[:p.N], seeds[p.N:2*p.N], seeds[2*p.N:])
+}
+
+// KeyFromSeeds derives a key pair deterministically from (SK.seed, SK.prf,
+// PK.seed). Used by tests and by the GPU signers so that all
+// implementations operate on identical keys.
+func KeyFromSeeds(p *params.Params, skSeed, skPRF, pkSeed []byte) (*PrivateKey, error) {
+	if len(skSeed) != p.N || len(skPRF) != p.N || len(pkSeed) != p.N {
+		return nil, errors.New("spx: seed length mismatch")
+	}
+	sk := &PrivateKey{
+		PublicKey: PublicKey{Params: p, Seed: append([]byte(nil), pkSeed...)},
+		SKSeed:    append([]byte(nil), skSeed...),
+		SKPRF:     append([]byte(nil), skPRF...),
+	}
+	ctx := hashes.NewCtx(p, sk.Seed, sk.SKSeed)
+	sk.Root = hypertree.Root(ctx)
+	return sk, nil
+}
+
+// SignOptions tune signing behaviour.
+type SignOptions struct {
+	// OptRand is the optional randomizer fed to PRF_msg. Nil selects the
+	// deterministic default (PK.seed), matching the reference code.
+	OptRand []byte
+	// Counters, when non-nil, accumulates hash work performed by this call.
+	Counters *hashes.Counters
+}
+
+// Sign produces a SPHINCS+ signature of msg.
+func Sign(sk *PrivateKey, msg []byte, opts *SignOptions) ([]byte, error) {
+	p := sk.Params
+	var optRand []byte
+	var counters *hashes.Counters
+	if opts != nil {
+		optRand = opts.OptRand
+		counters = opts.Counters
+	}
+	if optRand == nil {
+		optRand = sk.Seed
+	}
+	if len(optRand) != p.N {
+		return nil, fmt.Errorf("spx: OptRand must be %d bytes", p.N)
+	}
+
+	ctx := hashes.NewCtx(p, sk.Seed, sk.SKSeed)
+	ctx.C = counters
+
+	sig := make([]byte, p.SigBytes)
+
+	// R = PRF_msg(SK.prf, OptRand, M)
+	r := hashes.PRFMsg(p, sk.SKPRF, optRand, msg)
+	copy(sig[:p.N], r)
+
+	// Digest and index extraction.
+	digest := hashes.HMsg(p, r, sk.Seed, sk.Root, msg)
+	md, treeIdx, leafIdx := hashes.SplitDigest(p, digest)
+
+	// FORS over the bottom-layer key pair (treeIdx, leafIdx).
+	var forsAdrs address.Address
+	forsAdrs.SetLayer(0)
+	forsAdrs.SetTree(treeIdx)
+	forsAdrs.SetType(address.FORSTree)
+	forsAdrs.SetKeyPair(leafIdx)
+	forsPK := fors.Sign(ctx, sig[p.N:p.N+p.ForsBytes], md, &forsAdrs)
+
+	// Hypertree over the FORS public key.
+	hypertree.Sign(ctx, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
+	return sig, nil
+}
+
+// ErrVerify is returned when a signature does not verify.
+var ErrVerify = errors.New("spx: signature verification failed")
+
+// Verify checks a SPHINCS+ signature.
+func Verify(pk *PublicKey, msg, sig []byte) error {
+	p := pk.Params
+	if len(sig) != p.SigBytes {
+		return fmt.Errorf("spx: signature must be %d bytes, got %d", p.SigBytes, len(sig))
+	}
+	ctx := hashes.NewCtx(p, pk.Seed, nil)
+
+	r := sig[:p.N]
+	digest := hashes.HMsg(p, r, pk.Seed, pk.Root, msg)
+	md, treeIdx, leafIdx := hashes.SplitDigest(p, digest)
+
+	var forsAdrs address.Address
+	forsAdrs.SetLayer(0)
+	forsAdrs.SetTree(treeIdx)
+	forsAdrs.SetType(address.FORSTree)
+	forsAdrs.SetKeyPair(leafIdx)
+	forsPK := fors.PKFromSig(ctx, sig[p.N:p.N+p.ForsBytes], md, &forsAdrs)
+
+	root := hypertree.PKFromSig(ctx, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
+	for i := 0; i < p.N; i++ {
+		if root[i] != pk.Root[i] {
+			return ErrVerify
+		}
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package spx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// testKey derives a deterministic key for a parameter set.
+func testKey(t testing.TB, p *params.Params, tag byte) *PrivateKey {
+	t.Helper()
+	skSeed := make([]byte, p.N)
+	skPRF := make([]byte, p.N)
+	pkSeed := make([]byte, p.N)
+	for i := range skSeed {
+		skSeed[i] = byte(i) ^ tag
+		skPRF[i] = byte(i*3+1) ^ tag
+		pkSeed[i] = byte(i*7+5) ^ tag
+	}
+	sk, err := KeyFromSeeds(p, skSeed, skPRF, pkSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// TestSignatureSizesMatchPaper asserts the -f signature sizes the paper
+// quotes (17,088 bytes for 128f) and the spec values for the others.
+func TestSignatureSizesMatchPaper(t *testing.T) {
+	want := map[string]int{
+		"SPHINCS+-128f": 17088,
+		"SPHINCS+-192f": 35664,
+		"SPHINCS+-256f": 49856,
+		"SPHINCS+-128s": 7856,
+		"SPHINCS+-192s": 16224,
+		"SPHINCS+-256s": 29792,
+	}
+	for _, p := range params.AllSets() {
+		if got := p.SigBytes; got != want[p.Name] {
+			t.Errorf("%s: SigBytes = %d, want %d", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+// TestWOTSDerivedParams checks the derived WOTS+ constants for each set.
+func TestWOTSDerivedParams(t *testing.T) {
+	cases := []struct {
+		p    *params.Params
+		len1 int
+		len2 int
+	}{
+		{params.SPHINCSPlus128f, 32, 3},
+		{params.SPHINCSPlus192f, 48, 3},
+		{params.SPHINCSPlus256f, 64, 3},
+	}
+	for _, c := range cases {
+		if c.p.WOTSLen1 != c.len1 || c.p.WOTSLen2 != c.len2 {
+			t.Errorf("%s: len1/len2 = %d/%d, want %d/%d",
+				c.p.Name, c.p.WOTSLen1, c.p.WOTSLen2, c.len1, c.len2)
+		}
+		if c.p.WOTSLen != c.len1+c.len2 {
+			t.Errorf("%s: WOTSLen inconsistent", c.p.Name)
+		}
+	}
+}
+
+// TestSignVerifyRoundTripAllSets signs and verifies on every parameter set.
+// The -f sets are the paper's targets; -s sets are covered in -short mode
+// only for 128s to bound runtime.
+func TestSignVerifyRoundTripAllSets(t *testing.T) {
+	sets := []*params.Params{params.SPHINCSPlus128f, params.SPHINCSPlus128s}
+	if !testing.Short() {
+		sets = params.AllSets()
+	}
+	for _, p := range sets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if !testing.Short() &&
+				(p == params.SPHINCSPlus128f || p == params.SPHINCSPlus128s) {
+				t.Parallel()
+			}
+			sk := testKey(t, p, 0x11)
+			msg := []byte("HERO-Sign reproduction message for " + p.Name)
+			sig, err := Sign(sk, msg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sig) != p.SigBytes {
+				t.Fatalf("signature length %d, want %d", len(sig), p.SigBytes)
+			}
+			if err := Verify(&sk.PublicKey, msg, sig); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestDeterministicSigning verifies that default signing is deterministic
+// (OptRand = PK.seed) and that distinct OptRand changes only R, not validity.
+func TestDeterministicSigning(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p, 0x22)
+	msg := []byte("determinism check")
+	s1, err := Sign(sk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sign(sk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("default signing is not deterministic")
+	}
+	optRand := make([]byte, p.N)
+	optRand[0] = 0xAB
+	s3, err := Sign(sk, msg, &SignOptions{OptRand: optRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s3) {
+		t.Fatal("OptRand did not change the signature")
+	}
+	if err := Verify(&sk.PublicKey, msg, s3); err != nil {
+		t.Fatalf("randomized signature failed to verify: %v", err)
+	}
+}
+
+// TestVerifyRejectsTampering flips bits in every structural region of the
+// signature (R, FORS, each hypertree layer) and in the message, expecting
+// rejection for each.
+func TestVerifyRejectsTampering(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p, 0x33)
+	msg := []byte("tamper target")
+	sig, err := Sign(sk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offsets := []int{
+		0,                               // R
+		p.N,                             // FORS revealed secret
+		p.N + 5*p.N,                     // FORS auth path
+		p.N + p.ForsBytes,               // first WOTS+ signature
+		p.N + p.ForsBytes + p.WOTSBytes, // first auth path
+		p.SigBytes - 1,                  // last byte (top layer auth)
+	}
+	for _, off := range offsets {
+		bad := append([]byte(nil), sig...)
+		bad[off] ^= 0x01
+		if err := Verify(&sk.PublicKey, msg, bad); err == nil {
+			t.Errorf("tampered signature at offset %d verified", off)
+		}
+	}
+
+	if err := Verify(&sk.PublicKey, append(msg, 'x'), sig); err == nil {
+		t.Error("signature verified for modified message")
+	}
+
+	short := sig[:len(sig)-1]
+	if err := Verify(&sk.PublicKey, msg, short); err == nil {
+		t.Error("truncated signature verified")
+	}
+}
+
+// TestVerifyRejectsWrongKey verifies key separation.
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk1 := testKey(t, p, 0x44)
+	sk2 := testKey(t, p, 0x55)
+	msg := []byte("key separation")
+	sig, err := Sign(sk1, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&sk2.PublicKey, msg, sig); err == nil {
+		t.Error("signature verified under wrong key")
+	}
+}
+
+// TestKeySerializationRoundTrip checks Bytes/Parse inverses for both key
+// types.
+func TestKeySerializationRoundTrip(t *testing.T) {
+	p := params.SPHINCSPlus192f
+	sk := testKey(t, p, 0x66)
+
+	skb := sk.Bytes()
+	if len(skb) != p.SKBytes {
+		t.Fatalf("sk bytes = %d, want %d", len(skb), p.SKBytes)
+	}
+	sk2, err := ParsePrivateKey(p, skb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sk2.Bytes(), skb) {
+		t.Fatal("private key roundtrip mismatch")
+	}
+
+	pkb := sk.PublicKey.Bytes()
+	if len(pkb) != p.PKBytes {
+		t.Fatalf("pk bytes = %d, want %d", len(pkb), p.PKBytes)
+	}
+	pk2, err := ParsePublicKey(p, pkb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pk2.Bytes(), pkb) {
+		t.Fatal("public key roundtrip mismatch")
+	}
+
+	// A signature from the parsed key must verify under the parsed pk.
+	msg := []byte("serialization")
+	sig, err := Sign(sk2, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pk2, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ParsePublicKey(p, pkb[:len(pkb)-1]); err == nil {
+		t.Error("short public key parsed")
+	}
+	if _, err := ParsePrivateKey(p, append(skb, 0)); err == nil {
+		t.Error("long private key parsed")
+	}
+}
+
+// TestHashWorkCounters signs with counters attached and sanity-checks the
+// totals against the structural expectations the paper builds on: signing is
+// dominated by >100k hash computations for the -f sets (paper §I).
+func TestHashWorkCounters(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(t, p, 0x77)
+	var c hashes.Counters
+	if _, err := Sign(sk, []byte("count me"), &SignOptions{Counters: &c}); err != nil {
+		t.Fatal(err)
+	}
+	// Expected structural hash-call count:
+	//   FORS: k * (t PRF leaves + t F + (t-1) H) + 1 root compress
+	//   HT:   d * (2^h' leaves * (len PRF + len*(w-1) F + 1 compress) + (2^h'-1) H + len chain F for the WOTS sig)
+	// The WOTS signature chains re-run PRF+partial chains; we bound loosely.
+	minThash := int64(p.K * (2*p.T - 1))
+	if c.Thash < minThash {
+		t.Errorf("Thash = %d, want >= %d", c.Thash, minThash)
+	}
+	if c.PRF < int64(p.K*p.T) {
+		t.Errorf("PRF = %d, want >= %d", c.PRF, int64(p.K*p.T))
+	}
+	if c.Compress256 < 100000 {
+		t.Errorf("Compress256 = %d, want >= 100000 (paper: >100k hashes)", c.Compress256)
+	}
+}
+
+// TestMessageToIndicesProperties checks the FORS index extraction: indices
+// are in range and the mapping is a bijection on the md bits it consumes.
+func TestMessageToIndicesProperties(t *testing.T) {
+	for _, p := range params.FastSets() {
+		f := func(md []byte) bool {
+			if len(md) < p.MDBytes {
+				md = append(md, make([]byte, p.MDBytes-len(md))...)
+			}
+			idx := hashes.MessageToIndices(p, md[:p.MDBytes])
+			if len(idx) != p.K {
+				return false
+			}
+			for _, v := range idx {
+				if v >= uint32(p.T) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// TestSplitDigestRanges property-checks index extraction bounds.
+func TestSplitDigestRanges(t *testing.T) {
+	for _, p := range params.FastSets() {
+		f := func(raw []byte) bool {
+			if len(raw) < p.DigestBytes {
+				raw = append(raw, make([]byte, p.DigestBytes-len(raw))...)
+			}
+			md, tree, leaf := hashes.SplitDigest(p, raw[:p.DigestBytes])
+			if len(md) != p.MDBytes {
+				return false
+			}
+			treeBits := uint(p.H - p.TreeHeight)
+			if treeBits < 64 && tree >= 1<<treeBits {
+				return false
+			}
+			return leaf < 1<<uint(p.TreeHeight)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func BenchmarkCPUReferenceSign128f(b *testing.B) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(b, p, 0x99)
+	msg := []byte("bench message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(sk, msg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPUReferenceVerify128f(b *testing.B) {
+	p := params.SPHINCSPlus128f
+	sk := testKey(b, p, 0x99)
+	msg := []byte("bench message")
+	sig, err := Sign(sk, msg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(&sk.PublicKey, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

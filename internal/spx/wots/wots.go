@@ -1,0 +1,141 @@
+// Package wots implements the WOTS+ one-time signature scheme as used
+// inside SPHINCS+ (chain generation, signing, and public-key recovery from
+// a signature).
+//
+// Every chain is an independent sequence of F evaluations — the property
+// HERO-Sign exploits for chain-level GPU parallelism. The functions here
+// therefore expose per-chain entry points (ChainLengths, GenChain) in
+// addition to whole-signature operations, so the simulated kernels can
+// schedule chains onto threads exactly as the CUDA implementation does.
+package wots
+
+import (
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// ChainLengths computes the base-w representation of msg (N bytes) followed
+// by the checksum digits: the start positions of all WOTSLen chains for a
+// signature. The returned slice has length p.WOTSLen and entries in [0, w).
+func ChainLengths(p *params.Params, msg []byte) []uint32 {
+	lengths := make([]uint32, p.WOTSLen)
+	baseW(p, lengths[:p.WOTSLen1], msg)
+
+	// Checksum over the message digits.
+	var csum uint32
+	for _, d := range lengths[:p.WOTSLen1] {
+		csum += uint32(p.W-1) - d
+	}
+	// Left-shift so the checksum occupies the top bits of its byte string.
+	csum <<= uint((8 - (p.WOTSLen2*p.LogW)%8) % 8)
+	csumBytes := make([]byte, (p.WOTSLen2*p.LogW+7)/8)
+	for i := len(csumBytes) - 1; i >= 0; i-- {
+		csumBytes[i] = byte(csum)
+		csum >>= 8
+	}
+	baseW(p, lengths[p.WOTSLen1:], csumBytes)
+	return lengths
+}
+
+// baseW splits msg into out digits of LogW bits, most-significant first.
+func baseW(p *params.Params, out []uint32, msg []byte) {
+	in := 0
+	bits := 0
+	var total byte
+	for i := range out {
+		if bits == 0 {
+			total = msg[in]
+			in++
+			bits = 8
+		}
+		bits -= p.LogW
+		out[i] = uint32(total>>uint(bits)) & uint32(p.W-1)
+	}
+}
+
+// GenChain walks the hash chain: out = F^steps(in) starting at position
+// start. adrs must have its chain word already set; the hash word is
+// updated in place. in and out are N-byte values and may alias.
+func GenChain(ctx *hashes.Ctx, out, in []byte, start, steps uint32, adrs *address.Address) {
+	p := ctx.P
+	copy(out[:p.N], in[:p.N])
+	for i := start; i < start+steps && i < uint32(p.W); i++ {
+		adrs.SetHash(i)
+		ctx.F(out, out, adrs)
+	}
+}
+
+// ChainSK derives the chain-i secret value into out using the WOTS PRF
+// address type.
+func ChainSK(ctx *hashes.Ctx, out []byte, chain uint32, adrs *address.Address) {
+	var skAdrs address.Address
+	skAdrs.CopyKeyPair(adrs)
+	skAdrs.SetType(address.WOTSPRF)
+	skAdrs.SetKeyPair(adrs.KeyPair())
+	skAdrs.SetChain(chain)
+	ctx.PRF(out, &skAdrs)
+}
+
+// PKGen computes the compressed WOTS+ public key (N bytes) for the key pair
+// identified by adrs (type WOTSHash with key pair set). This runs all
+// WOTSLen chains to their end and compresses them with T_len.
+func PKGen(ctx *hashes.Ctx, out []byte, adrs *address.Address) {
+	p := ctx.P
+	pk := make([]byte, p.WOTSLen*p.N)
+	var chainAdrs address.Address
+	chainAdrs = *adrs
+	chainAdrs.SetType(address.WOTSHash)
+	chainAdrs.SetKeyPair(adrs.KeyPair())
+	for i := 0; i < p.WOTSLen; i++ {
+		seg := pk[i*p.N : (i+1)*p.N]
+		ChainSK(ctx, seg, uint32(i), adrs)
+		chainAdrs.SetChain(uint32(i))
+		GenChain(ctx, seg, seg, 0, uint32(p.W-1), &chainAdrs)
+	}
+	var pkAdrs address.Address
+	pkAdrs.CopyKeyPair(adrs)
+	pkAdrs.SetType(address.WOTSPK)
+	pkAdrs.SetKeyPair(adrs.KeyPair())
+	ctx.Thash(out, pk, &pkAdrs)
+}
+
+// Sign produces the WOTS+ signature of msg (N bytes) into sig
+// (WOTSLen*N bytes) for the key pair identified by adrs.
+func Sign(ctx *hashes.Ctx, sig, msg []byte, adrs *address.Address) {
+	p := ctx.P
+	lengths := ChainLengths(p, msg)
+	var chainAdrs address.Address
+	chainAdrs = *adrs
+	chainAdrs.SetType(address.WOTSHash)
+	chainAdrs.SetKeyPair(adrs.KeyPair())
+	for i := 0; i < p.WOTSLen; i++ {
+		seg := sig[i*p.N : (i+1)*p.N]
+		ChainSK(ctx, seg, uint32(i), adrs)
+		chainAdrs.SetChain(uint32(i))
+		GenChain(ctx, seg, seg, 0, lengths[i], &chainAdrs)
+	}
+}
+
+// PKFromSig recovers the compressed public key from a signature and the
+// signed message; verification succeeds when the result feeds a Merkle path
+// that reproduces the tree root.
+func PKFromSig(ctx *hashes.Ctx, out, sig, msg []byte, adrs *address.Address) {
+	p := ctx.P
+	lengths := ChainLengths(p, msg)
+	pk := make([]byte, p.WOTSLen*p.N)
+	var chainAdrs address.Address
+	chainAdrs = *adrs
+	chainAdrs.SetType(address.WOTSHash)
+	chainAdrs.SetKeyPair(adrs.KeyPair())
+	for i := 0; i < p.WOTSLen; i++ {
+		seg := pk[i*p.N : (i+1)*p.N]
+		chainAdrs.SetChain(uint32(i))
+		GenChain(ctx, seg, sig[i*p.N:(i+1)*p.N], lengths[i], uint32(p.W-1)-lengths[i], &chainAdrs)
+	}
+	var pkAdrs address.Address
+	pkAdrs.CopyKeyPair(adrs)
+	pkAdrs.SetType(address.WOTSPK)
+	pkAdrs.SetKeyPair(adrs.KeyPair())
+	ctx.Thash(out, pk, &pkAdrs)
+}

@@ -1,0 +1,207 @@
+package wots
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+func testCtx(t testing.TB, p *params.Params) *hashes.Ctx {
+	t.Helper()
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(3 * i)
+		skSeed[i] = byte(5*i + 1)
+	}
+	return hashes.NewCtx(p, pkSeed, skSeed)
+}
+
+// TestChainLengthsChecksum verifies the defining checksum property: the
+// message digits and checksum digits satisfy csum = Σ(w-1-digit).
+func TestChainLengthsChecksum(t *testing.T) {
+	for _, p := range params.FastSets() {
+		msg := make([]byte, p.N)
+		for i := range msg {
+			msg[i] = byte(i*37 + 11)
+		}
+		lengths := ChainLengths(p, msg)
+		if len(lengths) != p.WOTSLen {
+			t.Fatalf("%s: %d digits, want %d", p.Name, len(lengths), p.WOTSLen)
+		}
+		var csum uint32
+		for _, d := range lengths[:p.WOTSLen1] {
+			if d >= uint32(p.W) {
+				t.Fatalf("%s: digit %d out of range", p.Name, d)
+			}
+			csum += uint32(p.W-1) - d
+		}
+		// Reassemble the checksum from its base-w digits. For the -f sets
+		// (w=16, len2=3) the encoder's alignment shift cancels exactly, so
+		// the reassembled value equals csum.
+		var got uint32
+		for _, d := range lengths[p.WOTSLen1:] {
+			got = got<<uint(p.LogW) | d
+		}
+		if got != csum {
+			t.Fatalf("%s: checksum digits %d != csum %d", p.Name, got, csum)
+		}
+	}
+}
+
+// TestChainLengthsFirstDigitsAreNibbles pins the base-w split (w=16: high
+// nibble first).
+func TestChainLengthsFirstDigitsAreNibbles(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	msg := make([]byte, p.N)
+	msg[0] = 0xAB
+	msg[1] = 0xCD
+	lengths := ChainLengths(p, msg)
+	if lengths[0] != 0xA || lengths[1] != 0xB || lengths[2] != 0xC || lengths[3] != 0xD {
+		t.Fatalf("digits = %v", lengths[:4])
+	}
+}
+
+// TestGenChainComposition: F^a then F^b equals F^(a+b).
+func TestGenChainComposition(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	var adrs address.Address
+	adrs.SetType(address.WOTSHash)
+	adrs.SetChain(4)
+
+	start := make([]byte, p.N)
+	for i := range start {
+		start[i] = byte(i)
+	}
+	oneShot := make([]byte, p.N)
+	GenChain(ctx, oneShot, start, 0, 9, &adrs)
+
+	twoStep := make([]byte, p.N)
+	GenChain(ctx, twoStep, start, 0, 4, &adrs)
+	GenChain(ctx, twoStep, twoStep, 4, 5, &adrs)
+	if !bytes.Equal(oneShot, twoStep) {
+		t.Fatal("chain composition broken")
+	}
+}
+
+// TestGenChainClampsAtW: steps beyond w-1 are clamped by the loop bound.
+func TestGenChainClampsAtW(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	var adrs address.Address
+	start := make([]byte, p.N)
+	a := make([]byte, p.N)
+	b := make([]byte, p.N)
+	// The reference clamp is i < w: any step count >= w walks the full
+	// chain and no further.
+	GenChain(ctx, a, start, 0, uint32(p.W), &adrs)
+	GenChain(ctx, b, start, 0, uint32(p.W+5), &adrs)
+	if !bytes.Equal(a, b) {
+		t.Fatal("chain did not clamp at w")
+	}
+}
+
+// TestSignThenRecover is the core WOTS+ property: PKFromSig over a valid
+// signature reproduces PKGen's compressed public key.
+func TestSignThenRecover(t *testing.T) {
+	for _, p := range params.FastSets() {
+		ctx := testCtx(t, p)
+		var adrs address.Address
+		adrs.SetLayer(1)
+		adrs.SetTree(99)
+		adrs.SetType(address.WOTSHash)
+		adrs.SetKeyPair(13)
+
+		pk := make([]byte, p.N)
+		PKGen(ctx, pk, &adrs)
+
+		msg := make([]byte, p.N)
+		for i := range msg {
+			msg[i] = byte(i*7 + 3)
+		}
+		sig := make([]byte, p.WOTSBytes)
+		Sign(ctx, sig, msg, &adrs)
+
+		rec := make([]byte, p.N)
+		PKFromSig(ctx, rec, sig, msg, &adrs)
+		if !bytes.Equal(pk, rec) {
+			t.Fatalf("%s: recovered pk mismatch", p.Name)
+		}
+	}
+}
+
+// TestRecoverRejectsWrongMessage: a different message must not recover the
+// same public key (the unforgeability mechanism at the chain level).
+func TestRecoverRejectsWrongMessage(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	var adrs address.Address
+	adrs.SetType(address.WOTSHash)
+
+	pk := make([]byte, p.N)
+	PKGen(ctx, pk, &adrs)
+	msg := make([]byte, p.N)
+	sig := make([]byte, p.WOTSBytes)
+	Sign(ctx, sig, msg, &adrs)
+
+	wrong := append([]byte(nil), msg...)
+	wrong[0] ^= 0xFF
+	rec := make([]byte, p.N)
+	PKFromSig(ctx, rec, sig, wrong, &adrs)
+	if bytes.Equal(pk, rec) {
+		t.Fatal("wrong message recovered the correct pk")
+	}
+}
+
+// TestQuickSignRecover is the property-based version of sign/recover over
+// random messages.
+func TestQuickSignRecover(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	var adrs address.Address
+	adrs.SetType(address.WOTSHash)
+	pk := make([]byte, p.N)
+	PKGen(ctx, pk, &adrs)
+
+	f := func(raw []byte) bool {
+		msg := make([]byte, p.N)
+		copy(msg, raw)
+		sig := make([]byte, p.WOTSBytes)
+		Sign(ctx, sig, msg, &adrs)
+		rec := make([]byte, p.N)
+		PKFromSig(ctx, rec, sig, msg, &adrs)
+		return bytes.Equal(pk, rec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainSKDeterminism: the chain secret depends only on (chain, keypair,
+// subtree), not on mutable hash/height words.
+func TestChainSKDeterminism(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	var a1, a2 address.Address
+	a1.SetType(address.WOTSHash)
+	a1.SetKeyPair(5)
+	a2 = a1
+	a2.SetHash(12) // must be irrelevant to the PRF address
+
+	s1 := make([]byte, p.N)
+	s2 := make([]byte, p.N)
+	ChainSK(ctx, s1, 3, &a1)
+	ChainSK(ctx, s2, 3, &a2)
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("chain secret depends on the hash word")
+	}
+	ChainSK(ctx, s2, 4, &a1)
+	if bytes.Equal(s1, s2) {
+		t.Fatal("different chains share a secret")
+	}
+}

@@ -1,0 +1,110 @@
+// Package xmss implements the fixed-height Merkle signature scheme (the
+// paper's "MSS") that forms each layer of the SPHINCS+ hypertree: a binary
+// Merkle tree whose leaves are compressed WOTS+ public keys.
+//
+// Node-level primitives are exported so the simulated TREE_Sign kernel can
+// distribute leaf generation (wots_gen_leaf) and the tree reduction across
+// threads, while Sign/Root remain the sequential reference used as the
+// correctness oracle.
+package xmss
+
+import (
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/wots"
+)
+
+// GenLeaf computes leaf leafIdx of the subtree identified by treeAdrs
+// (layer/tree set): the compressed WOTS+ public key of that key pair. This
+// corresponds to the CUDA wots_gen_leaf routine the paper highlights as the
+// register-pressure hot spot.
+func GenLeaf(ctx *hashes.Ctx, out []byte, treeAdrs *address.Address, leafIdx uint32) {
+	var adrs address.Address
+	adrs.CopySubtree(treeAdrs)
+	adrs.SetType(address.WOTSHash)
+	adrs.SetKeyPair(leafIdx)
+	wots.PKGen(ctx, out, &adrs)
+}
+
+// TreeHash computes the subtree root, optionally collecting the
+// authentication path for leafIdx into auth (TreeHeight*N bytes, nil to
+// skip). It materializes the full leaf level — subtrees have at most
+// 2^TreeHeight <= 16 leaves for the -f sets, and at most 512 for -s.
+func TreeHash(ctx *hashes.Ctx, root []byte, treeAdrs *address.Address, leafIdx uint32, auth []byte) {
+	p := ctx.P
+	width := 1 << uint(p.TreeHeight)
+	level := make([]byte, width*p.N)
+	for i := 0; i < width; i++ {
+		GenLeaf(ctx, level[i*p.N:(i+1)*p.N], treeAdrs, uint32(i))
+	}
+	var nodeAdrs address.Address
+	nodeAdrs.CopySubtree(treeAdrs)
+	nodeAdrs.SetType(address.Tree)
+
+	idx := leafIdx
+	for h := 0; h < p.TreeHeight; h++ {
+		if auth != nil {
+			sib := idx ^ 1
+			copy(auth[h*p.N:(h+1)*p.N], level[int(sib)*p.N:int(sib+1)*p.N])
+		}
+		nodeAdrs.SetTreeHeight(uint32(h + 1))
+		for i := 0; i < width/2; i++ {
+			nodeAdrs.SetTreeIndex(uint32(i))
+			ctx.H(level[i*p.N:(i+1)*p.N],
+				level[2*i*p.N:(2*i+1)*p.N],
+				level[(2*i+1)*p.N:(2*i+2)*p.N],
+				&nodeAdrs)
+		}
+		width /= 2
+		idx >>= 1
+	}
+	copy(root[:p.N], level[:p.N])
+}
+
+// Sign produces one XMSS layer signature: the WOTS+ signature of msg under
+// the leaf key pair leafIdx, followed by the authentication path. It also
+// returns the subtree root (which the next layer up signs).
+// sig must be XMSSBytes long.
+func Sign(ctx *hashes.Ctx, sig, msg []byte, treeAdrs *address.Address, leafIdx uint32) []byte {
+	p := ctx.P
+	var wotsAdrs address.Address
+	wotsAdrs.CopySubtree(treeAdrs)
+	wotsAdrs.SetType(address.WOTSHash)
+	wotsAdrs.SetKeyPair(leafIdx)
+	wots.Sign(ctx, sig[:p.WOTSBytes], msg, &wotsAdrs)
+
+	root := make([]byte, p.N)
+	TreeHash(ctx, root, treeAdrs, leafIdx, sig[p.WOTSBytes:])
+	return root
+}
+
+// PKFromSig recomputes the subtree root from an XMSS signature: recover the
+// WOTS+ public key, then climb the authentication path.
+func PKFromSig(ctx *hashes.Ctx, sig, msg []byte, treeAdrs *address.Address, leafIdx uint32) []byte {
+	p := ctx.P
+	var wotsAdrs address.Address
+	wotsAdrs.CopySubtree(treeAdrs)
+	wotsAdrs.SetType(address.WOTSHash)
+	wotsAdrs.SetKeyPair(leafIdx)
+
+	node := make([]byte, p.N)
+	wots.PKFromSig(ctx, node, sig[:p.WOTSBytes], msg, &wotsAdrs)
+
+	var nodeAdrs address.Address
+	nodeAdrs.CopySubtree(treeAdrs)
+	nodeAdrs.SetType(address.Tree)
+	auth := sig[p.WOTSBytes:]
+	idx := leafIdx
+	for h := 0; h < p.TreeHeight; h++ {
+		nodeAdrs.SetTreeHeight(uint32(h + 1))
+		nodeAdrs.SetTreeIndex(idx >> 1)
+		authNode := auth[h*p.N : (h+1)*p.N]
+		if idx&1 == 0 {
+			ctx.H(node, node, authNode, &nodeAdrs)
+		} else {
+			ctx.H(node, authNode, node, &nodeAdrs)
+		}
+		idx >>= 1
+	}
+	return node
+}

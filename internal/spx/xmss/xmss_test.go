@@ -1,0 +1,136 @@
+package xmss
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+func testCtx(t testing.TB, p *params.Params) *hashes.Ctx {
+	t.Helper()
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(i + 17)
+		skSeed[i] = byte(6 * i)
+	}
+	return hashes.NewCtx(p, pkSeed, skSeed)
+}
+
+func subtree(layer uint32, tree uint64) *address.Address {
+	var a address.Address
+	a.SetLayer(layer)
+	a.SetTree(tree)
+	return &a
+}
+
+// TestSignThenRecoverEveryLeaf signs with every leaf of a 128f subtree
+// (height 3, 8 leaves) and checks PKFromSig reproduces the root each time.
+func TestSignThenRecoverEveryLeaf(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := subtree(2, 1234)
+	msg := make([]byte, p.N)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+
+	wantRoot := make([]byte, p.N)
+	TreeHash(ctx, wantRoot, adrs, 0, nil)
+
+	for leaf := uint32(0); leaf < 1<<uint(p.TreeHeight); leaf++ {
+		sig := make([]byte, p.XMSSBytes)
+		root := Sign(ctx, sig, msg, adrs, leaf)
+		if !bytes.Equal(root, wantRoot) {
+			t.Fatalf("leaf %d: Sign returned a different root", leaf)
+		}
+		rec := PKFromSig(ctx, sig, msg, adrs, leaf)
+		if !bytes.Equal(rec, wantRoot) {
+			t.Fatalf("leaf %d: PKFromSig root mismatch", leaf)
+		}
+	}
+}
+
+// TestRootIndependentOfAuthLeaf: TreeHash's root must not depend on which
+// leaf's auth path is collected.
+func TestRootIndependentOfAuthLeaf(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := subtree(0, 9)
+	r1 := make([]byte, p.N)
+	r2 := make([]byte, p.N)
+	auth := make([]byte, p.TreeHeight*p.N)
+	TreeHash(ctx, r1, adrs, 0, auth)
+	TreeHash(ctx, r2, adrs, 5, auth)
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("root depends on auth leaf index")
+	}
+}
+
+// TestRecoverRejectsWrongLeafIndex: a valid signature presented under a
+// different leaf index must not reproduce the root.
+func TestRecoverRejectsWrongLeafIndex(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := subtree(1, 77)
+	msg := make([]byte, p.N)
+	sig := make([]byte, p.XMSSBytes)
+	root := Sign(ctx, sig, msg, adrs, 3)
+	rec := PKFromSig(ctx, sig, msg, adrs, 4)
+	if bytes.Equal(rec, root) {
+		t.Fatal("wrong leaf index recovered the root")
+	}
+}
+
+// TestSubtreeSeparation: the same key material produces different roots for
+// different (layer, tree) identities.
+func TestSubtreeSeparation(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	r1 := make([]byte, p.N)
+	r2 := make([]byte, p.N)
+	r3 := make([]byte, p.N)
+	TreeHash(ctx, r1, subtree(0, 5), 0, nil)
+	TreeHash(ctx, r2, subtree(0, 6), 0, nil)
+	TreeHash(ctx, r3, subtree(1, 5), 0, nil)
+	if bytes.Equal(r1, r2) || bytes.Equal(r1, r3) {
+		t.Fatal("subtree identity does not separate roots")
+	}
+}
+
+// TestGenLeafMatchesManualClimb: leaf i hashed up the auth path of leaf i
+// gives the root (cross-checks GenLeaf against TreeHash's auth output).
+func TestGenLeafMatchesManualClimb(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := subtree(3, 21)
+	const leaf = 6
+
+	root := make([]byte, p.N)
+	auth := make([]byte, p.TreeHeight*p.N)
+	TreeHash(ctx, root, adrs, leaf, auth)
+
+	node := make([]byte, p.N)
+	GenLeaf(ctx, node, adrs, leaf)
+	var nodeAdrs address.Address
+	nodeAdrs.CopySubtree(adrs)
+	nodeAdrs.SetType(address.Tree)
+	idx := uint32(leaf)
+	for h := 0; h < p.TreeHeight; h++ {
+		nodeAdrs.SetTreeHeight(uint32(h + 1))
+		nodeAdrs.SetTreeIndex(idx >> 1)
+		sib := auth[h*p.N : (h+1)*p.N]
+		if idx&1 == 0 {
+			ctx.H(node, node, sib, &nodeAdrs)
+		} else {
+			ctx.H(node, sib, node, &nodeAdrs)
+		}
+		idx >>= 1
+	}
+	if !bytes.Equal(node, root) {
+		t.Fatal("manual climb does not reach TreeHash's root")
+	}
+}
