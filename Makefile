@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet bench serve
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The default test path runs vet first, mirroring the tier-1 gate.
+test: vet
+	$(GO) test ./...
+
+# bench regenerates the paper evaluation as machine-readable JSON so the
+# perf trajectory can be tracked across PRs (BENCH_*.json).
+bench: build
+	$(GO) run ./cmd/herosign-bench -json -batch 256 -sample 2 > BENCH_latest.json
+	@echo wrote BENCH_latest.json
+
+serve: build
+	$(GO) run ./cmd/herosign-serve

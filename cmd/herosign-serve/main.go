@@ -1,0 +1,108 @@
+// Command herosign-serve runs the HERO-Sign signing service: an HTTP/JSON
+// front end over the request coalescer and the multi-device fleet
+// scheduler.
+//
+// Usage:
+//
+//	herosign-serve [-addr :8080] [-params 128f] [-gpus "RTX 4090,RTX 4090"]
+//	               [-max-batch 64] [-deadline 2ms] [-key hexfile]
+//
+// The -gpus list creates one worker per entry; repeating a device adds a
+// second worker that shares its cached, tuned signer. Without -key a fresh
+// key pair is generated and the public key printed on startup.
+//
+// Endpoints: POST /v1/sign, POST /v1/verify, POST /v1/keygen, GET /v1/stats.
+package main
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"herosign"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	paramsName := flag.String("params", "128f", "SPHINCS+ parameter set")
+	gpus := flag.String("gpus", "RTX 4090", "comma-separated simulated devices, one worker each")
+	maxBatch := flag.Int("max-batch", 0, "size-triggered flush threshold (0 = engine SubBatch)")
+	deadline := flag.Duration("deadline", 2*time.Millisecond, "coalescing flush deadline")
+	keyFile := flag.String("key", "", "hex-encoded private key file (default: generate)")
+	flag.Parse()
+
+	p, err := herosign.ParamsByName(*paramsName)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []herosign.ServiceOption{
+		herosign.WithServiceParams(p),
+		herosign.WithServiceFlushDeadline(*deadline),
+	}
+	if *maxBatch > 0 {
+		opts = append(opts, herosign.WithServiceMaxBatch(*maxBatch))
+	}
+
+	var devs []*herosign.GPU
+	for _, name := range strings.Split(*gpus, ",") {
+		d, err := herosign.GPUByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		devs = append(devs, d)
+	}
+	opts = append(opts, herosign.WithServiceDevices(devs...))
+
+	if *keyFile != "" {
+		raw, err := os.ReadFile(*keyFile)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			fatal(fmt.Errorf("decode %s: %w", *keyFile, err))
+		}
+		sk, err := herosign.ParsePrivateKey(p, b)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, herosign.WithServiceKey(sk))
+	}
+
+	svc, err := herosign.NewService(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("herosign-serve: params=%s devices=%s addr=%s\n", p.Name, *gpus, *addr)
+	fmt.Printf("public key (base64): %s\n",
+		base64.StdEncoding.EncodeToString(svc.PublicKey().Bytes()))
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		<-ctx.Done()
+		fmt.Println("shutting down: draining coalescers and fleet")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	_ = svc.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "herosign-serve:", err)
+	os.Exit(1)
+}

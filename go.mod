@@ -1,0 +1,3 @@
+module herosign
+
+go 1.24.0

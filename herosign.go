@@ -17,15 +17,44 @@
 //
 // Signatures produced by any Accelerator configuration are byte-identical
 // to Sign's output and verify with Verify.
+//
+// # Serving layer quickstart
+//
+// On top of the batch engine, NewService builds a concurrent
+// request-coalescing signing service (package herosign/service): individual
+// Submit calls are coalesced into GPU-sized batches — flushed on a size
+// threshold or a deadline, whichever fires first — and a fleet scheduler
+// spreads the batches over per-device workers with least-outstanding-work
+// dispatch. An HTTP/JSON front end (Service.Handler) exposes /v1/sign,
+// /v1/verify, /v1/keygen and /v1/stats.
+//
+//	svc, err := herosign.NewService(
+//		herosign.WithServiceParams(herosign.SPHINCSPlus128f),
+//		herosign.WithServiceDevices(gpuA, gpuB), // one worker per device
+//	)
+//	if err != nil { ... }
+//	defer svc.Close()
+//
+//	sig, err := svc.Sign(ctx, msg)            // coalesced under the hood
+//	ok, err := svc.Verify(ctx, msg, sig)      // ok == true
+//	http.ListenAndServe(":8080", svc.Handler())
+//
+// Per-device throughput, the batch-size histogram, queue depths and
+// modeled GPU-seconds are available from Service.Stats (and /v1/stats).
+// See cmd/herosign-serve for a ready-made server and
+// examples/service-demo for an open-loop two-device workload.
 package herosign
 
 import (
+	"time"
+
 	"herosign/internal/baseline"
 	"herosign/internal/core"
 	"herosign/internal/core/tuner"
 	"herosign/internal/gpu/device"
 	"herosign/internal/spx"
 	"herosign/internal/spx/params"
+	"herosign/service"
 )
 
 // Params identifies a SPHINCS+ parameter set.
@@ -183,6 +212,53 @@ func (a *Accelerator) KeyGenBatch(seeds []SeedTriple) (*KeyGenResult, error) {
 
 // Tuning returns the Tree Tuning result, or nil when fusion is disabled.
 func (a *Accelerator) Tuning() *TuningResult { return a.signer.Tuning() }
+
+// Params returns the parameter set the accelerator was built for.
+func (a *Accelerator) Params() *Params { return a.signer.Params() }
+
+// Device returns the simulated device the accelerator targets.
+func (a *Accelerator) Device() *GPU { return a.signer.Device() }
+
+// Service is the concurrent request-coalescing signing service (package
+// herosign/service): a per-kind request coalescer over a multi-device fleet
+// scheduler with an HTTP/JSON front end.
+type Service = service.Service
+
+// ServiceOption configures NewService.
+type ServiceOption = service.Option
+
+// Service options, wrapped so callers need only this package. The
+// WithService* names avoid clashing with the Accelerator options.
+
+// WithServiceParams selects the parameter set (default SPHINCS+-128f).
+func WithServiceParams(p *Params) ServiceOption { return service.WithParams(p) }
+
+// WithServiceKey installs the signing key (default: freshly generated).
+func WithServiceKey(sk *PrivateKey) ServiceOption { return service.WithKey(sk) }
+
+// WithServiceDevices sets the fleet, one worker per device entry.
+func WithServiceDevices(devs ...*GPU) ServiceOption { return service.WithDevices(devs...) }
+
+// WithServiceMaxBatch sets the size-triggered flush threshold (default:
+// the engine SubBatch, 64).
+func WithServiceMaxBatch(n int) ServiceOption { return service.WithMaxBatch(n) }
+
+// WithServiceFlushDeadline bounds a lone request's coalescing wait
+// (default 2ms).
+func WithServiceFlushDeadline(d time.Duration) ServiceOption { return service.WithFlushDeadline(d) }
+
+// WithServiceFeatures overrides the engine optimization set.
+func WithServiceFeatures(f Features) ServiceOption { return service.WithFeatures(f) }
+
+// WithServiceSubBatch sets the engine launch-group granularity.
+func WithServiceSubBatch(n int) ServiceOption { return service.WithSubBatch(n) }
+
+// WithServiceStreams sets the engine stream count.
+func WithServiceStreams(n int) ServiceOption { return service.WithStreams(n) }
+
+// NewService builds the request-coalescing signing service. See the
+// package documentation's serving-layer quickstart.
+func NewService(opts ...ServiceOption) (*Service, error) { return service.New(opts...) }
 
 // NewBaseline builds a TCAS-SPHINCSp-style baseline signer for comparisons.
 func NewBaseline(p *Params, d *GPU) (*Accelerator, error) {

@@ -72,6 +72,15 @@ func New(cfg Config) (*Signer, error) {
 // Tuning returns the Tree Tuning result (nil when fusion is disabled).
 func (s *Signer) Tuning() *tuner.Result { return s.tune }
 
+// Params returns the parameter set the signer was built for.
+func (s *Signer) Params() *params.Params { return s.cfg.Params }
+
+// Device returns the simulated device the signer targets.
+func (s *Signer) Device() *device.Device { return s.cfg.Device }
+
+// SubBatch returns the launch-group granularity after defaulting.
+func (s *Signer) SubBatch() int { return s.cfg.SubBatch }
+
 // Selection returns the adaptive PTX/native choice per kernel, computing it
 // on demand with a probe batch (Table V's content). Without the PTX feature
 // every kernel reports native.

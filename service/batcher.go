@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"herosign/internal/core"
+)
+
+// Sentinel errors returned through futures or Submit.
+var (
+	// ErrClosed is returned by Submit calls after the service (or its
+	// batcher) has been closed.
+	ErrClosed = errors.New("service: closed")
+	// ErrEmptyMessage is resolved into a sign future whose message was
+	// empty; the rest of the coalesced batch proceeds.
+	ErrEmptyMessage = errors.New("service: empty message")
+	// ErrSignatureLength is resolved into a verify future whose signature
+	// had the wrong length for the parameter set; the rest of the batch
+	// proceeds.
+	ErrSignatureLength = errors.New("service: signature has wrong length")
+	// ErrSeedLength is resolved into a keygen future whose seed triple had
+	// wrong-length components; the rest of the batch proceeds.
+	ErrSeedLength = errors.New("service: seed triple has wrong lengths")
+)
+
+// Kind identifies the job type a request carries through the batcher and
+// fleet.
+type Kind int
+
+const (
+	KindSign Kind = iota
+	KindVerify
+	KindKeyGen
+)
+
+// String names the kind for stats and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindSign:
+		return "sign"
+	case KindVerify:
+		return "verify"
+	case KindKeyGen:
+		return "keygen"
+	}
+	return "unknown"
+}
+
+// Result is the resolved value of one request's future. Exactly the fields
+// matching the request kind are populated.
+type Result struct {
+	Sig   []byte      // KindSign: the signature, byte-identical to Sign
+	Valid bool        // KindVerify: the verdict
+	Key   *PrivateKey // KindKeyGen: the derived key pair
+	Batch int         // size of the coalesced batch this request rode in
+	Dev   string      // device that executed the batch
+}
+
+// Future is the pending result of a Submit call. It resolves exactly once,
+// either with a Result or with an error (which may be per-message: one
+// failing request does not poison its batch-mates).
+type Future struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+func (f *Future) resolve(res Result, err error) {
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// Wait blocks until the future resolves or the context is done. The
+// underlying batch keeps executing even when the waiter gives up.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Done reports the future's channel for select-based waiters.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// request is one submitted unit of work: a message to sign, a
+// (message, signature) pair to verify, or a seed triple to expand into a
+// key pair.
+type request struct {
+	msg  []byte
+	sig  []byte
+	seed core.SeedTriple
+	fut  *Future
+}
+
+// batcher coalesces individual requests of one kind into GPU-sized batches.
+// A flush happens when the pending queue reaches maxBatch (size-triggered)
+// or when the oldest pending request has waited deadline (timer-triggered),
+// whichever comes first — so tail latency stays bounded under light load
+// while batches approach maxBatch under heavy load.
+type batcher struct {
+	kind     Kind
+	maxBatch int
+	deadline time.Duration
+	flush    func(kind Kind, reqs []*request)
+
+	mu      sync.Mutex
+	pending []*request
+	gen     uint64 // increments at every flush; defeats stale timers
+	timer   *time.Timer
+	closed  bool
+}
+
+func newBatcher(kind Kind, maxBatch int, deadline time.Duration, flush func(Kind, []*request)) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if deadline <= 0 {
+		deadline = 2 * time.Millisecond
+	}
+	return &batcher{kind: kind, maxBatch: maxBatch, deadline: deadline, flush: flush}
+}
+
+// submit queues one request. The size threshold flushes inline (on the
+// caller's goroutine); the deadline flushes from a timer goroutine.
+func (b *batcher) submit(r *request) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.pending = append(b.pending, r)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.take()
+		b.mu.Unlock()
+		b.flush(b.kind, batch)
+		return nil
+	}
+	if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.deadline, func() { b.deadlineFlush(gen) })
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// take detaches the pending batch and advances the generation. Caller holds
+// b.mu.
+func (b *batcher) take() []*request {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// deadlineFlush fires from the timer. If a size-triggered flush (or close)
+// won the race, the generation has moved on and the timer is a no-op.
+func (b *batcher) deadlineFlush(gen uint64) {
+	b.mu.Lock()
+	if b.closed || b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.take()
+	b.mu.Unlock()
+	b.flush(b.kind, batch)
+}
+
+// depth reports the number of requests waiting for a flush.
+func (b *batcher) depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// close flushes whatever is pending and rejects further submits.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(b.kind, batch)
+	}
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectFlush records flushed batches for assertions.
+type collectFlush struct {
+	mu      sync.Mutex
+	batches [][]*request
+}
+
+func (c *collectFlush) fn(kind Kind, reqs []*request) {
+	c.mu.Lock()
+	c.batches = append(c.batches, reqs)
+	c.mu.Unlock()
+	for _, r := range reqs {
+		r.fut.resolve(Result{Batch: len(reqs)}, nil)
+	}
+}
+
+func (c *collectFlush) snapshot() [][]*request {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]*request(nil), c.batches...)
+}
+
+func newReq() *request { return &request{msg: []byte("m"), fut: newFuture()} }
+
+func TestBatcherDeadlineFlushSingleRequest(t *testing.T) {
+	var c collectFlush
+	b := newBatcher(KindSign, 64, 5*time.Millisecond, c.fn)
+	r := newReq()
+	if err := b.submit(r); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-r.fut.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("future did not resolve from the deadline flush")
+	}
+	got := c.snapshot()
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("want one flush of one request, got %d flushes", len(got))
+	}
+	if r.fut.res.Batch != 1 {
+		t.Fatalf("batch size = %d, want 1", r.fut.res.Batch)
+	}
+}
+
+func TestBatcherSizeFlushBeatsTimer(t *testing.T) {
+	var c collectFlush
+	// Long deadline: only the size threshold can flush within the test.
+	b := newBatcher(KindSign, 4, 250*time.Millisecond, c.fn)
+	reqs := make([]*request, 4)
+	for i := range reqs {
+		reqs[i] = newReq()
+		if err := b.submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Size-triggered flush is synchronous with the 4th submit.
+	got := c.snapshot()
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("want one size-triggered flush of 4, got %v flushes", len(got))
+	}
+	// The armed timer must have been cancelled or become a stale no-op:
+	// no second flush after the deadline passes.
+	time.Sleep(350 * time.Millisecond)
+	if got := c.snapshot(); len(got) != 1 {
+		t.Fatalf("stale timer double-flushed: %d flushes", len(got))
+	}
+	if b.depth() != 0 {
+		t.Fatalf("depth = %d after flush, want 0", b.depth())
+	}
+}
+
+// TestBatcherFlushRace hammers a tiny batcher with concurrent submitters
+// while the deadline timer races the size trigger; every future must
+// resolve exactly once and batches must never exceed maxBatch. Run with
+// -race to exercise the locking.
+func TestBatcherFlushRace(t *testing.T) {
+	var flushed atomic.Int64
+	var maxSeen atomic.Int64
+	flush := func(kind Kind, reqs []*request) {
+		flushed.Add(int64(len(reqs)))
+		if n := int64(len(reqs)); n > maxSeen.Load() {
+			maxSeen.Store(n)
+		}
+		for _, r := range reqs {
+			r.fut.resolve(Result{}, nil)
+		}
+	}
+	b := newBatcher(KindSign, 3, 100*time.Microsecond, flush)
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	futs := make(chan *Future, goroutines*per)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r := newReq()
+				if err := b.submit(r); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				futs <- r.fut
+				if i%7 == 0 {
+					time.Sleep(200 * time.Microsecond) // let the timer win sometimes
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(futs)
+	deadline := time.After(5 * time.Second)
+	for fut := range futs {
+		select {
+		case <-fut.Done():
+		case <-deadline:
+			t.Fatal("future never resolved")
+		}
+	}
+	// Any still-pending tail flushes via close.
+	b.close()
+	if flushed.Load() != goroutines*per {
+		t.Fatalf("flushed %d requests, want %d", flushed.Load(), goroutines*per)
+	}
+	if maxSeen.Load() > 3 {
+		t.Fatalf("a batch exceeded maxBatch: %d", maxSeen.Load())
+	}
+}
+
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	var c collectFlush
+	b := newBatcher(KindSign, 4, time.Millisecond, c.fn)
+	r := newReq()
+	if err := b.submit(r); err != nil {
+		t.Fatal(err)
+	}
+	b.close()
+	// close flushes the pending request.
+	select {
+	case <-r.fut.Done():
+	case <-time.After(time.Second):
+		t.Fatal("close did not flush the pending request")
+	}
+	err := b.submit(newReq())
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	b.close() // idempotent
+}

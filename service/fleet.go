@@ -1,0 +1,399 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"herosign/internal/core"
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// signerKey identifies one cached core.Signer. Tree Tuning and the adaptive
+// PTX probe run once per key; every worker configured for the same
+// (params, device, features, geometry) shares the warmed signer.
+type signerKey struct {
+	params      string
+	device      string
+	features    core.Features
+	subBatch    int
+	streams     int
+	alpha       float64
+	probeBlocks int
+}
+
+var signerCache = struct {
+	sync.Mutex
+	m map[signerKey]*core.Signer
+}{m: make(map[signerKey]*core.Signer)}
+
+// cachedSigner returns the shared signer for cfg, building and warming it
+// under the cache lock on first use. Warming runs the adaptive PTX probe so
+// the signer's kernel selection is immutable afterwards, which is what makes
+// concurrent SignBatch calls from multiple workers safe.
+//
+// The cache is process-wide and keyed by configuration, not by signing key:
+// the PTX probe's variant choice is a performance-model decision (never a
+// correctness one), so a signer warmed with one key is reused for another.
+// Entries live for the process lifetime — the population is bounded by the
+// distinct (params, device, features, geometry) combinations in use.
+func cachedSigner(cfg core.Config, sk *spx.PrivateKey) (*core.Signer, error) {
+	key := signerKey{
+		params: cfg.Params.Name, device: cfg.Device.Name,
+		features: cfg.Features, subBatch: cfg.SubBatch, streams: cfg.Streams,
+		alpha: cfg.Alpha, probeBlocks: cfg.ProbeBlocks,
+	}
+	signerCache.Lock()
+	defer signerCache.Unlock()
+	if s, ok := signerCache.m[key]; ok {
+		return s, nil
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Selection(sk); err != nil {
+		return nil, err
+	}
+	signerCache.m[key] = s
+	return s, nil
+}
+
+// batchJob is one flushed batch on its way through the fleet.
+type batchJob struct {
+	kind Kind
+	reqs []*request
+}
+
+// histBuckets are the upper bounds of the batch-size histogram
+// (1, 2, 4, …, 64, +Inf).
+var histBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
+func histIdx(n int) int {
+	for i, le := range histBuckets {
+		if n <= le {
+			return i
+		}
+	}
+	return len(histBuckets)
+}
+
+// worker owns one device's submission queue. A goroutine drains the queue
+// serially — the device-level analogue of the per-block worker under a
+// super-level scheduler — while the fleet above picks which worker each
+// flushed batch lands on.
+type worker struct {
+	id     int
+	dev    *device.Device
+	signer *core.Signer
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*batchJob
+	closing bool
+
+	// outstanding counts messages queued or executing; the fleet's
+	// least-outstanding-work dispatch reads it lock-free.
+	outstanding atomic.Int64
+
+	statsMu sync.Mutex
+	stats   workerStats
+}
+
+// workerStats accumulates per-device counters. BusyUs fields integrate the
+// modeled device time from the sched timelines (per-worker stream
+// accounting), not wall time.
+type workerStats struct {
+	Batches          int64
+	Messages         int64
+	SignMsgs         int64
+	VerifyMsgs       int64
+	KeyGenMsgs       int64
+	SignBusyUs       float64
+	VerifyBusyUs     float64
+	KeyGenBusyUs     float64
+	LaunchOverheadUs float64
+	Hist             []int64
+}
+
+func (w *worker) enqueue(j *batchJob) {
+	w.mu.Lock()
+	w.queue = append(w.queue, j)
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+func (w *worker) queueDepth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue)
+}
+
+// Fleet spreads flushed batches over N per-device workers and drains them
+// gracefully on Close. It supports sign, verify and keygen job kinds.
+type Fleet struct {
+	params *params.Params
+	key    *spx.PrivateKey
+
+	workers []*worker
+	wg      sync.WaitGroup
+
+	// mu orders Dispatch against Close: Dispatch holds the read side
+	// across the closed-check and the enqueue, so Close (write side)
+	// cannot slip between them and retire a worker that is about to
+	// receive a batch — which would leave futures unresolved forever.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewFleet builds one worker per entry of devs (a device may appear more
+// than once; workers then share its cached signer). The key is the fleet's
+// signing identity and also warms each signer's PTX selection.
+func NewFleet(p *params.Params, sk *spx.PrivateKey, devs []*device.Device, cfg core.Config) (*Fleet, error) {
+	if p == nil || sk == nil {
+		return nil, fmt.Errorf("service: params and key are required")
+	}
+	if sk.Params != p {
+		return nil, fmt.Errorf("service: key parameter set %s does not match fleet %s",
+			sk.Params.Name, p.Name)
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("service: at least one device is required")
+	}
+	f := &Fleet{params: p, key: sk}
+	for i, d := range devs {
+		c := cfg
+		c.Params, c.Device = p, d
+		s, err := cachedSigner(c, sk)
+		if err != nil {
+			return nil, err
+		}
+		w := &worker{id: i, dev: d, signer: s}
+		w.cond = sync.NewCond(&w.mu)
+		w.stats.Hist = make([]int64, len(histBuckets)+1)
+		f.workers = append(f.workers, w)
+	}
+	for _, w := range f.workers {
+		f.wg.Add(1)
+		go f.runWorker(w)
+	}
+	return f, nil
+}
+
+// Params returns the fleet's parameter set.
+func (f *Fleet) Params() *params.Params { return f.params }
+
+// PublicKey returns the fleet's signing public key.
+func (f *Fleet) PublicKey() *spx.PublicKey { return &f.key.PublicKey }
+
+// Dispatch hands a flushed batch to the worker with the least outstanding
+// work (queued plus executing messages). It returns ErrClosed once the
+// fleet is shutting down.
+func (f *Fleet) Dispatch(j *batchJob) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	best := f.workers[0]
+	bestLoad := best.outstanding.Load()
+	for _, w := range f.workers[1:] {
+		if l := w.outstanding.Load(); l < bestLoad {
+			best, bestLoad = w, l
+		}
+	}
+	best.outstanding.Add(int64(len(j.reqs)))
+	best.enqueue(j)
+	return nil
+}
+
+// Close stops accepting batches, waits for every queued batch to finish and
+// returns. Futures of in-flight batches all resolve before Close returns.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	// Every Dispatch that passed its closed-check has released the read
+	// lock, so its batch is already queued; workers drain their queues
+	// before exiting.
+	for _, w := range f.workers {
+		w.mu.Lock()
+		w.closing = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+	f.wg.Wait()
+}
+
+// QueuedMessages reports messages dispatched to workers but not yet
+// completed.
+func (f *Fleet) QueuedMessages() int64 {
+	var n int64
+	for _, w := range f.workers {
+		n += w.outstanding.Load()
+	}
+	return n
+}
+
+func (f *Fleet) runWorker(w *worker) {
+	defer f.wg.Done()
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closing {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 && w.closing {
+			w.mu.Unlock()
+			return
+		}
+		j := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+
+		f.runBatch(w, j)
+		w.outstanding.Add(-int64(len(j.reqs)))
+	}
+}
+
+// runBatch executes one coalesced batch on w's signer and resolves every
+// future. Per-message validation errors resolve individually; an engine
+// error resolves the whole batch with that error.
+func (f *Fleet) runBatch(w *worker, j *batchJob) {
+	switch j.kind {
+	case KindSign:
+		f.runSign(w, j.reqs)
+	case KindVerify:
+		f.runVerify(w, j.reqs)
+	case KindKeyGen:
+		f.runKeyGen(w, j.reqs)
+	default:
+		for _, r := range j.reqs {
+			r.fut.resolve(Result{}, fmt.Errorf("service: unknown job kind %d", j.kind))
+		}
+	}
+}
+
+func (f *Fleet) runSign(w *worker, reqs []*request) {
+	live := reqs[:0:0]
+	for _, r := range reqs {
+		if len(r.msg) == 0 {
+			r.fut.resolve(Result{}, ErrEmptyMessage)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	msgs := make([][]byte, len(live))
+	for i, r := range live {
+		msgs[i] = r.msg
+	}
+	res, err := w.signer.SignBatch(f.key, msgs)
+	if err != nil {
+		for _, r := range live {
+			r.fut.resolve(Result{}, err)
+		}
+		return
+	}
+	w.record(KindSign, len(live), res.TotalUs, res.LaunchOverheadUs)
+	for i, r := range live {
+		r.fut.resolve(Result{Sig: res.Sigs[i], Batch: len(live), Dev: w.dev.Name}, nil)
+	}
+}
+
+func (f *Fleet) runVerify(w *worker, reqs []*request) {
+	live := reqs[:0:0]
+	for _, r := range reqs {
+		if len(r.sig) != f.params.SigBytes {
+			r.fut.resolve(Result{}, fmt.Errorf("%w: got %d bytes, want %d",
+				ErrSignatureLength, len(r.sig), f.params.SigBytes))
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	msgs := make([][]byte, len(live))
+	sigs := make([][]byte, len(live))
+	for i, r := range live {
+		msgs[i], sigs[i] = r.msg, r.sig
+	}
+	res, err := w.signer.VerifyBatch(f.PublicKey(), msgs, sigs)
+	if err != nil {
+		for _, r := range live {
+			r.fut.resolve(Result{}, err)
+		}
+		return
+	}
+	w.record(KindVerify, len(live), res.Timeline.TotalUs, res.Timeline.LaunchOverheadUs)
+	for i, r := range live {
+		r.fut.resolve(Result{Valid: res.OK[i], Batch: len(live), Dev: w.dev.Name}, nil)
+	}
+}
+
+func (f *Fleet) runKeyGen(w *worker, reqs []*request) {
+	n := f.params.N
+	live := reqs[:0:0]
+	for _, r := range reqs {
+		if len(r.seed.SKSeed) != n || len(r.seed.SKPRF) != n || len(r.seed.PKSeed) != n {
+			r.fut.resolve(Result{}, fmt.Errorf("%w: components must be %d bytes", ErrSeedLength, n))
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	seeds := make([]core.SeedTriple, len(live))
+	for i, r := range live {
+		seeds[i] = r.seed
+	}
+	res, err := w.signer.KeyGenBatch(seeds)
+	if err != nil {
+		for _, r := range live {
+			r.fut.resolve(Result{}, err)
+		}
+		return
+	}
+	w.record(KindKeyGen, len(live), res.Kernel.DurationUs, 0)
+	for i, r := range live {
+		r.fut.resolve(Result{Key: res.Keys[i], Batch: len(live), Dev: w.dev.Name}, nil)
+	}
+}
+
+// record folds one executed batch into the worker's modeled-time stats.
+func (w *worker) record(kind Kind, n int, busyUs, launchUs float64) {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	w.stats.Batches++
+	w.stats.Messages += int64(n)
+	w.stats.LaunchOverheadUs += launchUs
+	w.stats.Hist[histIdx(n)]++
+	switch kind {
+	case KindSign:
+		w.stats.SignMsgs += int64(n)
+		w.stats.SignBusyUs += busyUs
+	case KindVerify:
+		w.stats.VerifyMsgs += int64(n)
+		w.stats.VerifyBusyUs += busyUs
+	case KindKeyGen:
+		w.stats.KeyGenMsgs += int64(n)
+		w.stats.KeyGenBusyUs += busyUs
+	}
+}
+
+func (w *worker) snapshot() workerStats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	s := w.stats
+	s.Hist = append([]int64(nil), w.stats.Hist...)
+	return s
+}

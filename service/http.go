@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// JSON wire types. []byte fields travel as standard base64 strings.
+type signRequest struct {
+	Message []byte `json:"message"`
+}
+
+type signResponse struct {
+	Signature []byte `json:"signature"`
+	Batch     int    `json:"batch"`  // coalesced batch size the request rode in
+	Device    string `json:"device"` // worker that executed it
+}
+
+type verifyRequest struct {
+	Message   []byte `json:"message"`
+	Signature []byte `json:"signature"`
+}
+
+type verifyResponse struct {
+	Valid  bool   `json:"valid"`
+	Batch  int    `json:"batch"`
+	Device string `json:"device"`
+}
+
+type keygenRequest struct {
+	Count int `json:"count"` // default 1, capped at 256 per call
+}
+
+type keygenKey struct {
+	PublicKey  []byte `json:"public_key"`
+	PrivateKey []byte `json:"private_key"`
+}
+
+type keygenResponse struct {
+	Params string      `json:"params"`
+	Keys   []keygenKey `json:"keys"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP/JSON front end:
+//
+//	POST /v1/sign    {"message": b64}               -> {"signature": b64, "batch": n, "device": name}
+//	POST /v1/verify  {"message": b64, "signature": b64} -> {"valid": bool, ...}
+//	POST /v1/keygen  {"count": n}                   -> {"keys": [{"public_key", "private_key"}]}
+//	GET  /v1/stats                                  -> Stats
+//
+// Each request is submitted through the coalescer, so concurrent HTTP
+// clients are batched together onto the fleet.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sign", s.handleSign)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/keygen", s.handleKeyGen)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrEmptyMessage), errors.Is(err, ErrSignatureLength):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Service) handleSign(w http.ResponseWriter, r *http.Request) {
+	var req signRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	fut, err := s.SubmitSign(req.Message)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := fut.Wait(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, signResponse{Signature: res.Sig, Batch: res.Batch, Device: res.Dev})
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	fut, err := s.SubmitVerify(req.Message, req.Signature)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := fut.Wait(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, verifyResponse{Valid: res.Valid, Batch: res.Batch, Device: res.Dev})
+}
+
+func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
+	var req keygenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+	if req.Count > 256 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "count exceeds the 256-key cap"})
+		return
+	}
+	futs := make([]*Future, 0, req.Count)
+	for i := 0; i < req.Count; i++ {
+		fut, err := s.SubmitKeyGen(nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		futs = append(futs, fut)
+	}
+	resp := keygenResponse{Params: s.cfg.Params.Name}
+	for _, fut := range futs {
+		res, err := fut.Wait(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Keys = append(resp.Keys, keygenKey{
+			PublicKey:  res.Key.PublicKey.Bytes(),
+			PrivateKey: res.Key.Bytes(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

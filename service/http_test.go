@@ -1,0 +1,118 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"herosign/internal/spx"
+)
+
+func postJSON(t *testing.T, url string, req, resp any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	svc := newTestService(t)
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	msg := []byte("over the wire")
+
+	// /v1/sign
+	var sr signResponse
+	if r := postJSON(t, ts.URL+"/v1/sign", signRequest{Message: msg}, &sr); r.StatusCode != http.StatusOK {
+		t.Fatalf("sign status %d", r.StatusCode)
+	}
+	if err := spx.Verify(svc.PublicKey(), msg, sr.Signature); err != nil {
+		t.Fatalf("HTTP signature does not verify: %v", err)
+	}
+	if sr.Device == "" || sr.Batch < 1 {
+		t.Fatalf("sign response missing batch metadata: %+v", sr)
+	}
+
+	// /v1/verify — valid and tampered.
+	var vr verifyResponse
+	postJSON(t, ts.URL+"/v1/verify", verifyRequest{Message: msg, Signature: sr.Signature}, &vr)
+	if !vr.Valid {
+		t.Fatal("HTTP verify rejected a valid signature")
+	}
+	postJSON(t, ts.URL+"/v1/verify", verifyRequest{Message: []byte("x"), Signature: sr.Signature}, &vr)
+	if vr.Valid {
+		t.Fatal("HTTP verify accepted a tampered message")
+	}
+
+	// /v1/keygen
+	var kr keygenResponse
+	postJSON(t, ts.URL+"/v1/keygen", keygenRequest{Count: 2}, &kr)
+	if len(kr.Keys) != 2 {
+		t.Fatalf("keygen returned %d keys, want 2", len(kr.Keys))
+	}
+	p := svc.Params()
+	for i, k := range kr.Keys {
+		if len(k.PublicKey) != p.PKBytes || len(k.PrivateKey) != p.SKBytes {
+			t.Fatalf("key %d has wrong sizes: pk=%d sk=%d", i, len(k.PublicKey), len(k.PrivateKey))
+		}
+	}
+
+	// /v1/stats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.TotalMessages < 5 { // 1 sign + 2 verify + 2 keygen
+		t.Fatalf("stats counted %d messages, want >= 5", st.TotalMessages)
+	}
+	if len(st.BatchSizeHist) == 0 || len(st.Devices) != 2 {
+		t.Fatalf("stats missing histogram or devices: %+v", st)
+	}
+	if st.ModeledGPUSeconds <= 0 {
+		t.Fatal("stats report no modeled GPU time")
+	}
+
+	// Error paths: empty message -> 400; bad JSON -> 400.
+	if r := postJSON(t, ts.URL+"/v1/sign", signRequest{}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty message status %d, want 400", r.StatusCode)
+	}
+	r, err := http.Post(ts.URL+"/v1/sign", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestHTTPAfterClose(t *testing.T) {
+	svc := newTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	svc.Close()
+	if r := postJSON(t, ts.URL+"/v1/sign", signRequest{Message: []byte("late")}, nil); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sign after close status %d, want 503", r.StatusCode)
+	}
+}

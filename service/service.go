@@ -1,0 +1,261 @@
+// Package service turns the HERO-Sign batch engine into a concurrent
+// signing service: a request coalescer collects individual sign / verify /
+// keygen submissions into GPU-sized batches (size threshold or deadline,
+// whichever fires first), and a fleet scheduler spreads the flushed batches
+// over per-device workers with least-outstanding-work dispatch. The
+// structural model is hierarchical: per-device workers below, a fleet-level
+// dispatcher above, a front end (HTTP/JSON, see Handler) on top.
+//
+// Signatures produced through the service are byte-identical to the
+// package-level Sign — coalescing changes scheduling, never bytes.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"time"
+
+	"herosign/internal/core"
+	"herosign/internal/gpu/device"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// Aliases so service callers don't need the internal packages.
+type (
+	Params     = params.Params
+	Device     = device.Device
+	PublicKey  = spx.PublicKey
+	PrivateKey = spx.PrivateKey
+	Features   = core.Features
+)
+
+// Config collects the service construction parameters. Zero values select
+// the defaults documented per field; use New with Options rather than
+// filling this in directly.
+type Config struct {
+	Params  *Params     // default SPHINCS+-128f
+	Key     *PrivateKey // default: a fresh key from crypto/rand
+	Devices []*Device   // one worker per entry; default one RTX 4090
+
+	// MaxBatch is the size-triggered flush threshold. Zero aligns it with
+	// the engine's SubBatch (64 by default) so a flushed batch maps onto
+	// whole launch groups.
+	MaxBatch int
+	// FlushDeadline bounds how long a lone request waits before its batch
+	// flushes anyway. Zero selects 2ms.
+	FlushDeadline time.Duration
+
+	Features Features // engine feature set; zero value is upgraded to the full HERO stack
+	SubBatch int      // engine launch-group size; zero selects the engine default (64)
+	Streams  int      // engine stream count; zero selects the engine default
+
+	baselineFeatures bool // set by WithFeatures so a zero Features can mean "baseline"
+}
+
+// Option configures New.
+type Option func(*Config)
+
+// WithParams selects the SPHINCS+ parameter set.
+func WithParams(p *Params) Option { return func(c *Config) { c.Params = p } }
+
+// WithKey installs the service signing key (default: freshly generated).
+func WithKey(sk *PrivateKey) Option { return func(c *Config) { c.Key = sk } }
+
+// WithDevices sets the fleet: one worker per device entry. Repeating a
+// device adds a second worker sharing its cached, tuned signer.
+func WithDevices(devs ...*Device) Option {
+	return func(c *Config) { c.Devices = append([]*Device(nil), devs...) }
+}
+
+// WithMaxBatch sets the size-triggered flush threshold.
+func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
+
+// WithFlushDeadline sets the coalescing deadline.
+func WithFlushDeadline(d time.Duration) Option { return func(c *Config) { c.FlushDeadline = d } }
+
+// WithFeatures overrides the engine optimization set (default: the full
+// HERO-Sign stack; pass core.Baseline()-equivalent zero Features for the
+// TCAS-style baseline).
+func WithFeatures(f Features) Option {
+	return func(c *Config) { c.Features = f; c.baselineFeatures = true }
+}
+
+// WithSubBatch sets the engine launch-group granularity.
+func WithSubBatch(n int) Option { return func(c *Config) { c.SubBatch = n } }
+
+// WithStreams sets the engine stream count.
+func WithStreams(n int) Option { return func(c *Config) { c.Streams = n } }
+
+// Service is the concurrent request-coalescing signing service.
+type Service struct {
+	cfg    Config
+	fleet  *Fleet
+	sign   *batcher
+	verify *batcher
+	keygen *batcher
+
+	start time.Time
+}
+
+// New builds a Service: it resolves defaults, builds (or reuses) one tuned
+// signer per distinct device, starts the per-device workers and the three
+// per-kind coalescers.
+func New(opts ...Option) (*Service, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Params == nil {
+		cfg.Params = params.SPHINCSPlus128f
+	}
+	if cfg.Key == nil {
+		sk, err := spx.GenerateKey(cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Key = sk
+	}
+	if len(cfg.Devices) == 0 {
+		d, err := device.ByName("RTX 4090")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Devices = []*Device{d}
+	}
+	if cfg.Features == (Features{}) && !cfg.baselineFeatures {
+		cfg.Features = core.AllFeatures()
+	}
+
+	fleet, err := NewFleet(cfg.Params, cfg.Key, cfg.Devices, core.Config{
+		Features: cfg.Features, SubBatch: cfg.SubBatch, Streams: cfg.Streams,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBatch == 0 {
+		// Align the flush threshold with the engine's (defaulted) SubBatch
+		// so a full flushed batch maps onto whole launch groups.
+		cfg.MaxBatch = fleet.workers[0].signer.SubBatch()
+	}
+	s := &Service{cfg: cfg, fleet: fleet, start: time.Now()}
+	flush := func(kind Kind, reqs []*request) {
+		if err := fleet.Dispatch(&batchJob{kind: kind, reqs: reqs}); err != nil {
+			for _, r := range reqs {
+				r.fut.resolve(Result{}, err)
+			}
+		}
+	}
+	s.sign = newBatcher(KindSign, cfg.MaxBatch, cfg.FlushDeadline, flush)
+	s.verify = newBatcher(KindVerify, cfg.MaxBatch, cfg.FlushDeadline, flush)
+	s.keygen = newBatcher(KindKeyGen, cfg.MaxBatch, cfg.FlushDeadline, flush)
+	return s, nil
+}
+
+// Params returns the service parameter set.
+func (s *Service) Params() *Params { return s.cfg.Params }
+
+// PublicKey returns the service signing public key.
+func (s *Service) PublicKey() *PublicKey { return s.fleet.PublicKey() }
+
+// SubmitSign queues one message for coalesced signing and returns its
+// future immediately.
+func (s *Service) SubmitSign(msg []byte) (*Future, error) {
+	r := &request{msg: append([]byte(nil), msg...), fut: newFuture()}
+	if err := s.sign.submit(r); err != nil {
+		return nil, err
+	}
+	return r.fut, nil
+}
+
+// SubmitVerify queues one (message, signature) pair for coalesced
+// verification.
+func (s *Service) SubmitVerify(msg, sig []byte) (*Future, error) {
+	r := &request{
+		msg: append([]byte(nil), msg...),
+		sig: append([]byte(nil), sig...),
+		fut: newFuture(),
+	}
+	if err := s.verify.submit(r); err != nil {
+		return nil, err
+	}
+	return r.fut, nil
+}
+
+// SubmitKeyGen queues one key derivation. With a nil seed triple, fresh
+// seeds are drawn from crypto/rand.
+func (s *Service) SubmitKeyGen(seed *core.SeedTriple) (*Future, error) {
+	var tr core.SeedTriple
+	if seed != nil {
+		// Copy the components: the future resolves asynchronously, and a
+		// caller may reuse (or zero) its seed buffers after Submit returns.
+		tr = core.SeedTriple{
+			SKSeed: append([]byte(nil), seed.SKSeed...),
+			SKPRF:  append([]byte(nil), seed.SKPRF...),
+			PKSeed: append([]byte(nil), seed.PKSeed...),
+		}
+	} else {
+		n := s.cfg.Params.N
+		buf := make([]byte, 3*n)
+		if _, err := rand.Read(buf); err != nil {
+			return nil, err
+		}
+		tr = core.SeedTriple{SKSeed: buf[:n], SKPRF: buf[n : 2*n], PKSeed: buf[2*n:]}
+	}
+	r := &request{seed: tr, fut: newFuture()}
+	if err := s.keygen.submit(r); err != nil {
+		return nil, err
+	}
+	return r.fut, nil
+}
+
+// Sign submits msg and waits for the coalesced signature.
+func (s *Service) Sign(ctx context.Context, msg []byte) ([]byte, error) {
+	fut, err := s.SubmitSign(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fut.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Sig, nil
+}
+
+// Verify submits (msg, sig) and waits for the verdict.
+func (s *Service) Verify(ctx context.Context, msg, sig []byte) (bool, error) {
+	fut, err := s.SubmitVerify(msg, sig)
+	if err != nil {
+		return false, err
+	}
+	res, err := fut.Wait(ctx)
+	if err != nil {
+		return false, err
+	}
+	return res.Valid, nil
+}
+
+// KeyGen derives one fresh key pair on the fleet.
+func (s *Service) KeyGen(ctx context.Context) (*PrivateKey, error) {
+	fut, err := s.SubmitKeyGen(nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fut.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Key, nil
+}
+
+// Close flushes pending requests, drains the fleet and waits for every
+// in-flight future to resolve. Submits after Close return ErrClosed.
+func (s *Service) Close() error {
+	s.sign.close()
+	s.verify.close()
+	s.keygen.close()
+	// Batches flushed by close are already queued; the fleet drains them
+	// before its workers exit.
+	s.fleet.Close()
+	return nil
+}

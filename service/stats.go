@@ -1,0 +1,112 @@
+package service
+
+import "fmt"
+
+// DeviceStats reports one worker's counters. All times are modeled device
+// time from the scheduler timelines, not wall time.
+type DeviceStats struct {
+	Worker  int    `json:"worker"`
+	Device  string `json:"device"`
+	Batches int64  `json:"batches"`
+
+	Messages   int64 `json:"messages"`
+	SignMsgs   int64 `json:"sign_messages"`
+	VerifyMsgs int64 `json:"verify_messages"`
+	KeyGenMsgs int64 `json:"keygen_messages"`
+
+	// ModeledBusySec is the device's accumulated modeled execution time
+	// (its stream-accounting clock) across all kinds.
+	ModeledBusySec   float64 `json:"modeled_busy_sec"`
+	ModeledLaunchSec float64 `json:"modeled_launch_overhead_sec"`
+	// ModeledSignPerSec is the device's signing throughput: signed
+	// messages over modeled signing busy time.
+	ModeledSignPerSec float64 `json:"modeled_sign_per_sec"`
+
+	// QueueDepth is messages dispatched to this worker but not completed.
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// HistBucket is one batch-size histogram bucket; Le is the inclusive upper
+// bound ("+Inf" for the overflow bucket).
+type HistBucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Stats is the service-wide snapshot served at /v1/stats.
+type Stats struct {
+	Params    string `json:"params"`
+	MaxBatch  int    `json:"max_batch"`
+	DeadlineM string `json:"flush_deadline"`
+
+	// PendingRequests are submitted requests still waiting in a coalescer.
+	PendingRequests int `json:"pending_requests"`
+	// QueuedMessages are flushed messages dispatched to workers but not
+	// yet completed.
+	QueuedMessages int64 `json:"queued_messages"`
+
+	TotalMessages int64 `json:"total_messages"`
+	TotalBatches  int64 `json:"total_batches"`
+
+	// ModeledGPUSeconds sums every device's modeled busy time.
+	ModeledGPUSeconds float64 `json:"modeled_gpu_seconds"`
+	// ModeledMakespanSec is the busiest device's modeled clock — the
+	// fleet-level modeled wall time, since devices run concurrently.
+	ModeledMakespanSec float64 `json:"modeled_makespan_sec"`
+	// ModeledSignPerSec is fleet signing throughput: total signed messages
+	// over the makespan.
+	ModeledSignPerSec float64 `json:"modeled_sign_per_sec"`
+
+	BatchSizeHist []HistBucket  `json:"batch_size_hist"`
+	Devices       []DeviceStats `json:"devices"`
+}
+
+// Stats snapshots the coalescers and the fleet.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Params:          s.cfg.Params.Name,
+		MaxBatch:        s.cfg.MaxBatch,
+		DeadlineM:       s.sign.deadline.String(),
+		PendingRequests: s.sign.depth() + s.verify.depth() + s.keygen.depth(),
+	}
+	hist := make([]int64, len(histBuckets)+1)
+	var signMsgs int64
+	for _, w := range s.fleet.workers {
+		ws := w.snapshot()
+		busyUs := ws.SignBusyUs + ws.VerifyBusyUs + ws.KeyGenBusyUs
+		ds := DeviceStats{
+			Worker: w.id, Device: w.dev.Name,
+			Batches: ws.Batches, Messages: ws.Messages,
+			SignMsgs: ws.SignMsgs, VerifyMsgs: ws.VerifyMsgs, KeyGenMsgs: ws.KeyGenMsgs,
+			ModeledBusySec:   busyUs / 1e6,
+			ModeledLaunchSec: ws.LaunchOverheadUs / 1e6,
+			QueueDepth:       w.outstanding.Load(),
+		}
+		if ws.SignBusyUs > 0 {
+			ds.ModeledSignPerSec = float64(ws.SignMsgs) / (ws.SignBusyUs / 1e6)
+		}
+		st.Devices = append(st.Devices, ds)
+		st.TotalMessages += ws.Messages
+		st.TotalBatches += ws.Batches
+		st.ModeledGPUSeconds += ds.ModeledBusySec
+		if ds.ModeledBusySec > st.ModeledMakespanSec {
+			st.ModeledMakespanSec = ds.ModeledBusySec
+		}
+		st.QueuedMessages += w.outstanding.Load()
+		signMsgs += ws.SignMsgs
+		for i, c := range ws.Hist {
+			hist[i] += c
+		}
+	}
+	if st.ModeledMakespanSec > 0 {
+		st.ModeledSignPerSec = float64(signMsgs) / st.ModeledMakespanSec
+	}
+	for i, c := range hist {
+		le := "+Inf"
+		if i < len(histBuckets) {
+			le = fmt.Sprintf("%d", histBuckets[i])
+		}
+		st.BatchSizeHist = append(st.BatchSizeHist, HistBucket{Le: le, Count: c})
+	}
+	return st
+}
