@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench serve
+.PHONY: build test vet bench bench-compare serve
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The default test path runs vet first, mirroring the tier-1 gate.
+# The default test path runs vet first, mirroring the tier-1 gate, then
+# race-checks the packages whose workers share the lane-batch buffers and
+# queues (service fleet, simulated GPU engine).
 test: vet
 	$(GO) test ./...
+	$(GO) test -race ./service/... ./internal/gpu/...
 
 # bench regenerates the paper evaluation as machine-readable JSON so the
 # perf trajectory can be tracked across PRs (BENCH_*.json).
 bench: build
 	$(GO) run ./cmd/herosign-bench -json -batch 256 -sample 2 > BENCH_latest.json
 	@echo wrote BENCH_latest.json
+
+# bench-compare regenerates BENCH_latest.json and diffs it against the
+# newest committed dated snapshot.
+bench-compare: bench
+	$(GO) run ./cmd/bench-compare -old "$$(ls BENCH_2*.json | sort | tail -1)" -new BENCH_latest.json
 
 serve: build
 	$(GO) run ./cmd/herosign-serve

@@ -1,0 +1,168 @@
+// Command bench-compare diffs two herosign-bench -json reports so the perf
+// trajectory across PRs stays visible: it aligns experiments by id and rows
+// by their first column, then prints numeric cell deltas and per-experiment
+// harness wall-time changes.
+//
+// Usage:
+//
+//	bench-compare -old BENCH_2026-07-29.json -new BENCH_latest.json
+//	bench-compare -old BENCH_2026-07-29.json -new BENCH_latest.json -all
+//
+// Exit status is 0 whether or not values changed; the tool reports, it does
+// not gate. (Modeled metrics are deterministic; wall-clock tables and
+// wall_ms vary run to run.)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type report struct {
+	Device      string        `json:"device"`
+	Batch       int           `json:"batch"`
+	Sample      int           `json:"sample"`
+	GeneratedAt string        `json:"generated_at"`
+	Experiments []*experiment `json:"experiments"`
+}
+
+type experiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	WallMS int64      `json:"wall_ms"`
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// num parses a numeric cell, tolerating the "1.23x" speedup suffix.
+func num(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "x"), 64)
+	return v, err == nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report (committed BENCH_*.json)")
+	newPath := flag.String("new", "BENCH_latest.json", "candidate report")
+	all := flag.Bool("all", false, "print unchanged cells too")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench-compare: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldR, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newR, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("old: %s (%s, batch=%d, sample=%d)\n", *oldPath, oldR.GeneratedAt, oldR.Batch, oldR.Sample)
+	fmt.Printf("new: %s (%s, batch=%d, sample=%d)\n\n", *newPath, newR.GeneratedAt, newR.Batch, newR.Sample)
+	if oldR.Device != newR.Device || oldR.Batch != newR.Batch || oldR.Sample != newR.Sample {
+		fmt.Printf("WARNING: configurations differ (device %q/batch %d/sample %d vs %q/%d/%d); deltas may not be comparable\n\n",
+			oldR.Device, oldR.Batch, oldR.Sample, newR.Device, newR.Batch, newR.Sample)
+	}
+
+	oldByID := map[string]*experiment{}
+	for _, e := range oldR.Experiments {
+		oldByID[e.ID] = e
+	}
+
+	var totalOld, totalNew int64
+	changedCells := 0
+	for _, ne := range newR.Experiments {
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			fmt.Printf("== %-10s NEW experiment (%s), wall %dms\n", ne.ID, ne.Title, ne.WallMS)
+			totalNew += ne.WallMS
+			continue
+		}
+		delete(oldByID, ne.ID)
+		totalOld += oe.WallMS
+		totalNew += ne.WallMS
+
+		// Rows are keyed by (first column, occurrence index): several tables
+		// repeat the leading label across rows (e.g. one row per
+		// optimization step per parameter set), so the label alone would
+		// collide.
+		oldRows := map[string][]string{}
+		oldSeen := map[string]int{}
+		for _, r := range oe.Rows {
+			if len(r) > 0 {
+				key := fmt.Sprintf("%s#%d", r[0], oldSeen[r[0]])
+				oldSeen[r[0]]++
+				oldRows[key] = r
+			}
+		}
+		var lines []string
+		newSeen := map[string]int{}
+		for _, r := range ne.Rows {
+			if len(r) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%s#%d", r[0], newSeen[r[0]])
+			newSeen[r[0]]++
+			or, ok := oldRows[key]
+			if !ok {
+				lines = append(lines, fmt.Sprintf("  + row %q", r[0]))
+				continue
+			}
+			delete(oldRows, key)
+			for c := 1; c < len(r) && c < len(or); c++ {
+				col := fmt.Sprintf("col %d", c)
+				if c < len(ne.Header) {
+					col = ne.Header[c]
+				}
+				nv, nok := num(r[c])
+				ov, ook := num(or[c])
+				switch {
+				case nok && ook && ov != 0:
+					pct := 100 * (nv - ov) / ov
+					if nv != ov || *all {
+						lines = append(lines, fmt.Sprintf("  %-22s %-22s %12s -> %-12s %+7.1f%%",
+							r[0], col, or[c], r[c], pct))
+						if nv != ov {
+							changedCells++
+						}
+					}
+				case r[c] != or[c]:
+					lines = append(lines, fmt.Sprintf("  %-22s %-22s %12s -> %s", r[0], col, or[c], r[c]))
+					changedCells++
+				}
+			}
+		}
+		for key := range oldRows {
+			lines = append(lines, fmt.Sprintf("  - row %q removed", key))
+			changedCells++
+		}
+		fmt.Printf("== %-10s wall %dms -> %dms\n", ne.ID, oe.WallMS, ne.WallMS)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	for id := range oldByID {
+		fmt.Printf("== %-10s REMOVED in new report\n", id)
+	}
+	fmt.Printf("\ntotal harness wall: %dms -> %dms; %d changed cells\n", totalOld, totalNew, changedCells)
+}

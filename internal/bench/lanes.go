@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"herosign/internal/cpuref"
+	"herosign/internal/sha2"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// backendName names the active sha2 lane-engine backend.
+func backendName() string {
+	if sha2.Accelerated() {
+		return "stdlib-hw"
+	}
+	return "portable"
+}
+
+// timeOp returns the per-op wall time of f, self-calibrating the iteration
+// count to roughly targetMs of measurement.
+func timeOp(f func(), targetMs int) time.Duration {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= time.Duration(targetMs)*time.Millisecond || iters >= 1<<22 {
+			return elapsed / time.Duration(iters)
+		}
+		iters *= 4
+	}
+}
+
+// LaneEngine measures the host lane-engine wall-clock for SPHINCS+-128f:
+// per-F cost and 8-lane batched per-F cost on each available backend, plus
+// single-thread measured cpuref.SignBatch throughput. Unlike the modeled
+// experiments, every number here is wall-clock on the build machine; this
+// is the table a PR cites when it claims a host-side speedup.
+func (s *Suite) LaneEngine() (*Table, error) {
+	p := params.SPHINCSPlus128f
+	t := &Table{
+		ID:     "lanes",
+		Title:  "Host multi-lane SHA-256 engine, SPHINCS+-128f (wall-clock)",
+		Header: []string{"Backend", "F ns/op", "F x8 ns/lane", "SignBatch 1T KOPS"},
+		Notes: []string{
+			"active backend: " + backendName() +
+				"; modeled GPU metrics are independent of the host backend",
+		},
+	}
+
+	orig := sha2.Accelerated()
+	defer sha2.SetAccelerated(orig)
+
+	seed := make([]byte, p.N)
+	ctx := hashes.NewCtx(p, seed, seed)
+	var adrs [sha2.Lanes]address.Address
+	var outs, ins [sha2.Lanes][]byte
+	buf := make([]byte, sha2.Lanes*p.N)
+	out := make([]byte, sha2.Lanes*p.N)
+	for i := 0; i < sha2.Lanes; i++ {
+		adrs[i].SetType(address.FORSTree)
+		adrs[i].SetTreeIndex(uint32(i))
+		ins[i] = buf[i*p.N : (i+1)*p.N]
+		outs[i] = out[i*p.N : (i+1)*p.N]
+	}
+	msgs := make([][]byte, 8)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 'l', 'n'}
+	}
+
+	type measured struct {
+		fNs  float64
+		kops float64
+	}
+	run := func(accel bool) (measured, error) {
+		sha2.SetAccelerated(accel)
+		name := backendName()
+		fNs := timeOp(func() { ctx.F(outs[0], ins[0], &adrs[0]) }, 5)
+		laneNs := timeOp(func() { ctx.FLanes(sha2.Lanes, &outs, &ins, &adrs) }, 5)
+		_, res, err := cpuref.SignBatch(s.key(p), msgs, 1)
+		if err != nil {
+			return measured{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			d0(fNs.Nanoseconds()),
+			d0(laneNs.Nanoseconds() / sha2.Lanes),
+			fmt.Sprintf("%.4f", res.KOPS),
+		})
+		return measured{fNs: float64(fNs.Nanoseconds()), kops: res.KOPS}, nil
+	}
+
+	// Portable first, then the accelerated backend when the platform has one.
+	portable, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	sha2.SetAccelerated(true)
+	if sha2.Accelerated() {
+		hw, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		if hw.fNs > 0 && portable.kops > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"stdlib-hw vs portable: F %.2fx, SignBatch 1T %.2fx",
+				portable.fNs/hw.fNs, hw.kops/portable.kops))
+		}
+	}
+	return t, nil
+}

@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{"ablation-streams", "Stream-count sensitivity", (*Suite).AblationStreams},
 		{"profile", "Nsight-style kernel profiles", (*Suite).Profile},
 		{"verify", "Batch verification & key generation", (*Suite).VerifyThroughput},
+		{"lanes", "Host multi-lane SHA-256 engine (wall-clock)", (*Suite).LaneEngine},
 	}
 }
 

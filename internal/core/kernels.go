@@ -129,10 +129,10 @@ func (ks *kernelSet) padding() shmem.Padding {
 func (ks *kernelSet) readChildren(b *sim.Block, tid, off int, left, right []byte) {
 	n := ks.p.N
 	if ks.feats.FreeBank {
-		pair := make([]byte, 2*n)
-		b.Shared.Read(tid, off, pair)
+		var pair [64]byte // 2n <= 64
+		b.Shared.Read(tid, off, pair[:2*n])
 		copy(left, pair[:n])
-		copy(right, pair[n:])
+		copy(right, pair[n:2*n])
 		return
 	}
 	b.Shared.Read(tid, off, left)
@@ -283,17 +283,17 @@ func (ks *kernelSet) forsLaunch() (*sim.Launch, error) {
 					}
 					ks.seedTraffic(b, 2*p.N)
 					sel := job.Indices[tree]
-					node := make([]byte, p.N)
+					var node [32]byte // N <= 32
 					if g.leavesPerThread == 1 {
-						forsLeafNode(ctx, node, &adrs, uint32(tree), uint32(pos), p)
+						forsLeafNode(ctx, node[:p.N], &adrs, uint32(tree), uint32(pos), p)
 						if uint32(pos) == sel {
 							forsLeafSK(ctx, job.ForsItem(tree)[:p.N], &adrs, uint32(tree), sel, p)
 							b.GlobalWrite(p.N)
 						}
 					} else {
-						ks.relaxFold(ctx, b, job, node, &adrs, tree, pos, lgL, sel)
+						ks.relaxFold(ctx, b, job, node[:p.N], &adrs, tree, pos, lgL, sel)
 					}
-					b.Shared.Write(tid, slot*slotBytes+pos*p.N, node)
+					b.Shared.Write(tid, slot*slotBytes+pos*p.N, node[:p.N])
 				}
 			})
 			b.Sync()
@@ -321,11 +321,11 @@ func (ks *kernelSet) forsLaunch() (*sim.Launch, error) {
 						}
 						sel := job.Indices[tree]
 						sib := int(sel>>uint(h)) ^ 1
-						sibNode := make([]byte, p.N)
+						var sibNode [32]byte
 						// Level-h node j sits at slot-relative position j
 						// (in-place reduction invariant).
-						b.Shared.Read(tid, slot*slotBytes+sib*p.N, sibNode)
-						copy(job.ForsItem(tree)[(1+h)*p.N:(2+h)*p.N], sibNode)
+						b.Shared.Read(tid, slot*slotBytes+sib*p.N, sibNode[:p.N])
+						copy(job.ForsItem(tree)[(1+h)*p.N:(2+h)*p.N], sibNode[:p.N])
 						b.GlobalWrite(p.N)
 					}
 				})
@@ -348,14 +348,12 @@ func (ks *kernelSet) forsLaunch() (*sim.Launch, error) {
 						if tree >= p.K {
 							continue
 						}
-						left := make([]byte, p.N)
-						right := make([]byte, p.N)
-						ks.readChildren(b, tid, slot*slotBytes+2*i*p.N, left, right)
+						var left, right, parent [32]byte
+						ks.readChildren(b, tid, slot*slotBytes+2*i*p.N, left[:p.N], right[:p.N])
 						nodeAdrs.SetTreeHeight(uint32(h + 1))
 						nodeAdrs.SetTreeIndex(uint32(tree)*uint32(p.T>>uint(h+1)) + uint32(i))
-						parent := make([]byte, p.N)
-						ctx.H(parent, left, right, &nodeAdrs)
-						b.Shared.Write(tid, slot*slotBytes+i*p.N, parent)
+						ctx.H(parent[:p.N], left[:p.N], right[:p.N], &nodeAdrs)
+						b.Shared.Write(tid, slot*slotBytes+i*p.N, parent[:p.N])
 					}
 				})
 				b.Sync()
@@ -369,9 +367,9 @@ func (ks *kernelSet) forsLaunch() (*sim.Launch, error) {
 					if tree >= p.K {
 						continue
 					}
-					root := make([]byte, p.N)
-					b.Shared.Read(tid, slot*slotBytes, root)
-					copy(roots[tree*p.N:(tree+1)*p.N], root)
+					var root [32]byte
+					b.Shared.Read(tid, slot*slotBytes, root[:p.N])
+					copy(roots[tree*p.N:(tree+1)*p.N], root[:p.N])
 					b.GlobalWrite(p.N)
 				}
 			})
@@ -460,7 +458,8 @@ func forsLeafSK(ctx *hashes.Ctx, out []byte, adrs *address.Address, treeIdx, lea
 
 // forsLeafNode computes a FORS leaf (PRF then F), matching fors.LeafNode.
 func forsLeafNode(ctx *hashes.Ctx, out []byte, adrs *address.Address, treeIdx, leafIdx uint32, p *params.Params) {
-	sk := make([]byte, p.N)
+	var skBuf [32]byte
+	sk := skBuf[:p.N]
 	forsLeafSK(ctx, sk, adrs, treeIdx, leafIdx, p)
 	var nodeAdrs address.Address
 	nodeAdrs.CopyKeyPair(adrs)
@@ -501,9 +500,9 @@ func (ks *kernelSet) treeLaunch() (*sim.Launch, error) {
 				var treeAdrs address.Address
 				treeAdrs.SetLayer(uint32(layer))
 				treeAdrs.SetTree(job.LayerTree[layer])
-				node := make([]byte, p.N)
-				wotsGenLeaf(ctx, node, &treeAdrs, uint32(leaf), p)
-				b.Shared.Write(tid, layer*layerBytes+leaf*p.N, node)
+				var node [32]byte
+				wotsGenLeaf(ctx, node[:p.N], &treeAdrs, uint32(leaf), p)
+				b.Shared.Write(tid, layer*layerBytes+leaf*p.N, node[:p.N])
 			}
 		})
 		b.Sync()
@@ -521,9 +520,9 @@ func (ks *kernelSet) treeLaunch() (*sim.Launch, error) {
 				}
 				idx := job.LayerLeaf[layer] >> uint(h)
 				sib := int(idx) ^ 1
-				node := make([]byte, p.N)
-				b.Shared.Read(tid, layer*layerBytes+sib*p.N, node)
-				copy(job.AuthPath(layer)[h*p.N:(h+1)*p.N], node)
+				var node [32]byte
+				b.Shared.Read(tid, layer*layerBytes+sib*p.N, node[:p.N])
+				copy(job.AuthPath(layer)[h*p.N:(h+1)*p.N], node[:p.N])
 				b.GlobalWrite(p.N)
 			})
 
@@ -542,12 +541,10 @@ func (ks *kernelSet) treeLaunch() (*sim.Launch, error) {
 					nodeAdrs.SetType(address.Tree)
 					nodeAdrs.SetTreeHeight(uint32(h + 1))
 					nodeAdrs.SetTreeIndex(uint32(i))
-					left := make([]byte, p.N)
-					right := make([]byte, p.N)
-					ks.readChildren(b, tid, layer*layerBytes+2*i*p.N, left, right)
-					parent := make([]byte, p.N)
-					ctx.H(parent, left, right, &nodeAdrs)
-					b.Shared.Write(tid, layer*layerBytes+i*p.N, parent)
+					var left, right, parent [32]byte
+					ks.readChildren(b, tid, layer*layerBytes+2*i*p.N, left[:p.N], right[:p.N])
+					ctx.H(parent[:p.N], left[:p.N], right[:p.N], &nodeAdrs)
+					b.Shared.Write(tid, layer*layerBytes+i*p.N, parent[:p.N])
 				}
 			})
 			b.Sync()
@@ -558,9 +555,9 @@ func (ks *kernelSet) treeLaunch() (*sim.Launch, error) {
 			if tid >= p.D {
 				return
 			}
-			node := make([]byte, p.N)
-			b.Shared.Read(tid, tid*layerBytes, node)
-			copy(job.Roots[tid], node)
+			var node [32]byte
+			b.Shared.Read(tid, tid*layerBytes, node[:p.N])
+			copy(job.Roots[tid], node[:p.N])
 			b.GlobalWrite(p.N)
 		})
 		b.Sync()

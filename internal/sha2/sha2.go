@@ -16,6 +16,19 @@
 // Correctness is pinned to the standard library in the package tests: every
 // digest produced here is compared byte-for-byte against crypto/sha256 and
 // crypto/sha512 across a large corpus of lengths and contents.
+//
+// # Multi-lane engine
+//
+// Beyond the scalar primitives, the package provides a lane-batch engine
+// (lanes.go): Compress256x4/Compress256x8 run several independent
+// compressions per pass over struct-of-arrays state, and the reusable
+// Hasher256 starts messages from arbitrary midstates without allocating.
+// This mirrors the paper's warp execution model — a warp advances Lanes
+// independent hash chains in lockstep, one compression per lane per pass —
+// on the host CPU. Two interchangeable backends (a portable interleaved
+// kernel and, where the init-time self-check proves it, the platform's
+// hardware SHA-256 via crypto/sha256) produce bit-identical digests; see
+// the lanes.go file comment for the full design.
 package sha2
 
 // BlockSize256 is the SHA-256 message block size in bytes.

@@ -1,0 +1,34 @@
+package fors
+
+import (
+	"testing"
+
+	"herosign/internal/sha2"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// TestTreeRootZeroAlloc: a full lane-batched FORS tree build (leaves plus
+// every reduction level, including the HReduceLevel address callbacks) must
+// not allocate after warm-up, on either backend.
+func TestTreeRootZeroAlloc(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	ctx := hashes.NewCtx(p, pkSeed, skSeed)
+	var adrs address.Address
+	adrs.SetType(address.FORSTree)
+	root := make([]byte, p.N)
+	auth := make([]byte, p.LogT*p.N)
+
+	for _, accel := range []bool{true, false} {
+		prev := sha2.SetAccelerated(accel)
+		if allocs := testing.AllocsPerRun(5, func() {
+			TreeRoot(ctx, root, &adrs, 2, 13, auth)
+		}); allocs != 0 {
+			t.Errorf("accel=%v: TreeRoot allocates (%v)", accel, allocs)
+		}
+		sha2.SetAccelerated(prev)
+	}
+}

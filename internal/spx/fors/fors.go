@@ -7,9 +7,15 @@
 // addition to Sign/PKFromSig so that the GPU-simulated kernels can map leaf
 // and node computations onto threads level-by-level, exactly as HERO-Sign's
 // FORS_Sign kernel does.
+//
+// Whole-tree operations are lane-batched: leaf PRF+F evaluations and each
+// Merkle level's H reductions advance sha2.Lanes independent nodes per
+// multi-lane pass, and PKFromSig climbs all k authentication paths
+// level-synchronously. Results are byte-identical to the node-level path.
 package fors
 
 import (
+	"herosign/internal/sha2"
 	"herosign/internal/spx/address"
 	"herosign/internal/spx/hashes"
 	"herosign/internal/spx/params"
@@ -36,32 +42,72 @@ func LeafSK(ctx *hashes.Ctx, out []byte, adrs *address.Address, treeIdx, leafIdx
 // tree/leaf into out.
 func LeafNode(ctx *hashes.Ctx, out []byte, adrs *address.Address, treeIdx, leafIdx uint32) {
 	p := ctx.P
-	sk := make([]byte, p.N)
-	LeafSK(ctx, sk, adrs, treeIdx, leafIdx)
+	var sk [32]byte // N <= 32
+	LeafSK(ctx, sk[:p.N], adrs, treeIdx, leafIdx)
 	var nodeAdrs address.Address
 	nodeAdrs.CopyKeyPair(adrs)
 	nodeAdrs.SetType(address.FORSTree)
 	nodeAdrs.SetKeyPair(adrs.KeyPair())
 	nodeAdrs.SetTreeHeight(0)
 	nodeAdrs.SetTreeIndex(treeIdx*uint32(p.T) + leafIdx)
-	ctx.F(out, sk, &nodeAdrs)
+	ctx.F(out, sk[:p.N], &nodeAdrs)
+}
+
+// leafBatch fills level (T*N bytes) with the leaf nodes of tree treeIdx:
+// per group of sha2.Lanes leaves, one PRF pass derives the secrets in place
+// and one F pass folds them to leaf hashes.
+func leafBatch(ctx *hashes.Ctx, level []byte, adrs *address.Address, treeIdx uint32) {
+	p := ctx.P
+	var outs [sha2.Lanes][]byte
+	var lanes [sha2.Lanes]address.Address
+	for base := 0; base < p.T; base += sha2.Lanes {
+		count := p.T - base
+		if count > sha2.Lanes {
+			count = sha2.Lanes
+		}
+		for j := 0; j < count; j++ {
+			leaf := uint32(base + j)
+			outs[j] = level[int(leaf)*p.N : int(leaf+1)*p.N]
+			lanes[j].CopyKeyPair(adrs)
+			lanes[j].SetType(address.FORSPRF)
+			lanes[j].SetKeyPair(adrs.KeyPair())
+			lanes[j].SetTreeHeight(0)
+			lanes[j].SetTreeIndex(treeIdx*uint32(p.T) + leaf)
+		}
+		ctx.PRFLanes(count, &outs, &lanes)
+		for j := 0; j < count; j++ {
+			lanes[j].SetType(address.FORSTree)
+			lanes[j].SetKeyPair(adrs.KeyPair())
+			lanes[j].SetTreeHeight(0)
+			lanes[j].SetTreeIndex(treeIdx*uint32(p.T) + uint32(base+j))
+		}
+		ctx.FLanes(count, &outs, &outs, &lanes)
+	}
+}
+
+// reduceLevel folds one Merkle level of width nodes in place with
+// lane-batched H calls (hashes.HReduceLevel). h is the height of the
+// produced nodes (1-based); treeOffset is the tree-index offset of node 0
+// at that height.
+func reduceLevel(ctx *hashes.Ctx, level []byte, width int, adrs *address.Address, h int, treeOffset uint32) {
+	ctx.HReduceLevel(level, width, func(a *address.Address, i int) {
+		a.CopyKeyPair(adrs)
+		a.SetType(address.FORSTree)
+		a.SetKeyPair(adrs.KeyPair())
+		a.SetTreeHeight(uint32(h))
+		a.SetTreeIndex(treeOffset + uint32(i))
+	})
 }
 
 // TreeRoot computes the root of FORS tree treeIdx, optionally collecting the
 // authentication path for leafIdx into auth (LogT*N bytes; pass nil to skip).
-// This is the straightforward full-subtree computation the CPU reference
-// uses; kernels re-implement the same reduction over simulated shared
-// memory and are tested for byte equality against this function.
+// Leaves and every reduction level run lane-batched; kernels re-implement
+// the same reduction over simulated shared memory and are tested for byte
+// equality against this function.
 func TreeRoot(ctx *hashes.Ctx, root []byte, adrs *address.Address, treeIdx uint32, leafIdx uint32, auth []byte) {
 	p := ctx.P
-	level := make([]byte, p.T*p.N)
-	for i := 0; i < p.T; i++ {
-		LeafNode(ctx, level[i*p.N:(i+1)*p.N], adrs, treeIdx, uint32(i))
-	}
-	var nodeAdrs address.Address
-	nodeAdrs.CopyKeyPair(adrs)
-	nodeAdrs.SetType(address.FORSTree)
-	nodeAdrs.SetKeyPair(adrs.KeyPair())
+	level := ctx.ForsLevelBuf()
+	leafBatch(ctx, level, adrs, treeIdx)
 
 	idx := leafIdx
 	width := p.T
@@ -70,14 +116,7 @@ func TreeRoot(ctx *hashes.Ctx, root []byte, adrs *address.Address, treeIdx uint3
 			sib := idx ^ 1
 			copy(auth[h*p.N:(h+1)*p.N], level[int(sib)*p.N:int(sib+1)*p.N])
 		}
-		nodeAdrs.SetTreeHeight(uint32(h + 1))
-		for i := 0; i < width/2; i++ {
-			nodeAdrs.SetTreeIndex(treeIdx*uint32(p.T>>(h+1)) + uint32(i))
-			ctx.H(level[i*p.N:(i+1)*p.N],
-				level[2*i*p.N:(2*i+1)*p.N],
-				level[(2*i+1)*p.N:(2*i+2)*p.N],
-				&nodeAdrs)
-		}
+		reduceLevel(ctx, level, width, adrs, h+1, treeIdx*uint32(p.T>>(h+1)))
 		width /= 2
 		idx >>= 1
 	}
@@ -89,8 +128,8 @@ func TreeRoot(ctx *hashes.Ctx, root []byte, adrs *address.Address, treeIdx uint3
 // the hypertree then signs.
 func Sign(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
 	p := ctx.P
-	indices := hashes.MessageToIndices(p, md)
-	roots := make([]byte, p.K*p.N)
+	indices := hashes.MessageToIndicesInto(p, ctx.IndicesBuf(), md)
+	roots := ctx.ForsRootsBuf()
 	itemBytes := (p.LogT + 1) * p.N
 	for i := 0; i < p.K; i++ {
 		item := sig[i*itemBytes : (i+1)*itemBytes]
@@ -103,47 +142,73 @@ func Sign(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
 }
 
 // PKFromSig recomputes the FORS public key from a signature and message.
+// The k per-tree authentication paths climb level-synchronously in
+// multi-lane passes.
 func PKFromSig(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
 	p := ctx.P
-	indices := hashes.MessageToIndices(p, md)
-	roots := make([]byte, p.K*p.N)
+	indices := hashes.MessageToIndicesInto(p, ctx.IndicesBuf(), md)
+	roots := ctx.ForsRootsBuf()
 	itemBytes := (p.LogT + 1) * p.N
-	node := make([]byte, p.N)
-	sib := make([]byte, p.N)
-	_ = sib
-	var nodeAdrs address.Address
-	nodeAdrs.CopyKeyPair(adrs)
-	nodeAdrs.SetType(address.FORSTree)
-	nodeAdrs.SetKeyPair(adrs.KeyPair())
-	for i := 0; i < p.K; i++ {
-		item := sig[i*itemBytes : (i+1)*itemBytes]
-		leafIdx := indices[i]
-		// Leaf from the revealed secret value.
-		nodeAdrs.SetTreeHeight(0)
-		nodeAdrs.SetTreeIndex(uint32(i)*uint32(p.T) + leafIdx)
-		ctx.F(node, item[:p.N], &nodeAdrs)
-		// Climb the authentication path.
-		idx := leafIdx
-		offset := uint32(i) * uint32(p.T)
-		for h := 0; h < p.LogT; h++ {
-			authNode := item[(1+h)*p.N : (2+h)*p.N]
-			nodeAdrs.SetTreeHeight(uint32(h + 1))
-			offset >>= 1
-			nodeAdrs.SetTreeIndex(offset + idx>>1)
-			if idx&1 == 0 {
-				ctx.H(node, node, authNode, &nodeAdrs)
-			} else {
-				ctx.H(node, authNode, node, &nodeAdrs)
-			}
-			idx >>= 1
+
+	var outs, lefts, rights [sha2.Lanes][]byte
+	var lanes [sha2.Lanes]address.Address
+
+	// Leaves from the revealed secret values, batched across trees.
+	for base := 0; base < p.K; base += sha2.Lanes {
+		count := p.K - base
+		if count > sha2.Lanes {
+			count = sha2.Lanes
 		}
-		copy(roots[i*p.N:(i+1)*p.N], node)
+		for j := 0; j < count; j++ {
+			i := base + j
+			item := sig[i*itemBytes : (i+1)*itemBytes]
+			outs[j] = roots[i*p.N : (i+1)*p.N]
+			lefts[j] = item[:p.N]
+			lanes[j].CopyKeyPair(adrs)
+			lanes[j].SetType(address.FORSTree)
+			lanes[j].SetKeyPair(adrs.KeyPair())
+			lanes[j].SetTreeHeight(0)
+			lanes[j].SetTreeIndex(uint32(i)*uint32(p.T) + indices[i])
+		}
+		ctx.FLanes(count, &outs, &lefts, &lanes)
+	}
+
+	// Climb all k authentication paths one level per round of passes.
+	for h := 0; h < p.LogT; h++ {
+		for base := 0; base < p.K; base += sha2.Lanes {
+			count := p.K - base
+			if count > sha2.Lanes {
+				count = sha2.Lanes
+			}
+			for j := 0; j < count; j++ {
+				i := base + j
+				item := sig[i*itemBytes : (i+1)*itemBytes]
+				node := roots[i*p.N : (i+1)*p.N]
+				authNode := item[(1+h)*p.N : (2+h)*p.N]
+				idx := indices[i] >> uint(h)
+				offset := (uint32(i) * uint32(p.T)) >> uint(h+1)
+				outs[j] = node
+				if idx&1 == 0 {
+					lefts[j] = node
+					rights[j] = authNode
+				} else {
+					lefts[j] = authNode
+					rights[j] = node
+				}
+				lanes[j].CopyKeyPair(adrs)
+				lanes[j].SetType(address.FORSTree)
+				lanes[j].SetKeyPair(adrs.KeyPair())
+				lanes[j].SetTreeHeight(uint32(h + 1))
+				lanes[j].SetTreeIndex(offset + idx>>1)
+			}
+			ctx.HLanes(count, &outs, &lefts, &rights, &lanes)
+		}
 	}
 	return compressRoots(ctx, roots, adrs)
 }
 
 // compressRoots applies T_k over the concatenated roots with the FORSRoots
-// address type.
+// address type (one small N-byte allocation per signature).
 func compressRoots(ctx *hashes.Ctx, roots []byte, adrs *address.Address) []byte {
 	p := ctx.P
 	var rootsAdrs address.Address

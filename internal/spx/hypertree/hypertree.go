@@ -9,39 +9,45 @@ import (
 )
 
 // Sign signs msg (the FORS public key) with the hypertree path selected by
-// (treeIdx, leafIdx), writing D XMSS signatures into sig (D*XMSSBytes) and
-// returning the top-layer root (which must equal PK.root).
-func Sign(ctx *hashes.Ctx, sig, msg []byte, treeIdx uint64, leafIdx uint32) []byte {
+// (treeIdx, leafIdx), writing D XMSS signatures into sig (D*XMSSBytes).
+// When root is non-nil the top-layer root (which must equal PK.root) is
+// written to root[:N]; the signing hot path passes nil and stays
+// allocation-free.
+func Sign(ctx *hashes.Ctx, root, sig, msg []byte, treeIdx uint64, leafIdx uint32) {
 	p := ctx.P
-	root := append([]byte(nil), msg...)
+	var node [32]byte // N <= 32; the root chained between layers
+	copy(node[:p.N], msg[:p.N])
 	for layer := 0; layer < p.D; layer++ {
 		var treeAdrs address.Address
 		treeAdrs.SetLayer(uint32(layer))
 		treeAdrs.SetTree(treeIdx)
 		layerSig := sig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
-		root = xmss.Sign(ctx, layerSig, root, &treeAdrs, leafIdx)
+		xmss.Sign(ctx, node[:p.N], layerSig, node[:p.N], &treeAdrs, leafIdx)
 		// Update indices for the next layer (paper Fig. 2 snippet).
 		leafIdx = uint32(treeIdx & ((1 << uint(p.TreeHeight)) - 1))
 		treeIdx >>= uint(p.TreeHeight)
 	}
-	return root
+	if root != nil {
+		copy(root[:p.N], node[:p.N])
+	}
 }
 
 // PKFromSig recomputes the hypertree root from the D stacked XMSS
-// signatures; verification compares it with PK.root.
-func PKFromSig(ctx *hashes.Ctx, sig, msg []byte, treeIdx uint64, leafIdx uint32) []byte {
+// signatures into root (N bytes); verification compares it with PK.root.
+func PKFromSig(ctx *hashes.Ctx, root, sig, msg []byte, treeIdx uint64, leafIdx uint32) {
 	p := ctx.P
-	node := append([]byte(nil), msg...)
+	var node [32]byte
+	copy(node[:p.N], msg[:p.N])
 	for layer := 0; layer < p.D; layer++ {
 		var treeAdrs address.Address
 		treeAdrs.SetLayer(uint32(layer))
 		treeAdrs.SetTree(treeIdx)
 		layerSig := sig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
-		node = xmss.PKFromSig(ctx, layerSig, node, &treeAdrs, leafIdx)
+		xmss.PKFromSig(ctx, node[:p.N], layerSig, node[:p.N], &treeAdrs, leafIdx)
 		leafIdx = uint32(treeIdx & ((1 << uint(p.TreeHeight)) - 1))
 		treeIdx >>= uint(p.TreeHeight)
 	}
-	return node
+	copy(root[:p.N], node[:p.N])
 }
 
 // Root computes the hypertree public root (the root of subtree 0 at the top

@@ -35,11 +35,13 @@ func TestSignReturnsPublicRoot(t *testing.T) {
 		leaf uint32
 	}{{0, 0}, {1, 3}, {0xFFFFFFFF, 7}, {1 << 40, 5}} {
 		sig := make([]byte, p.D*p.XMSSBytes)
-		root := Sign(ctx, sig, msg, path.tree, path.leaf)
+		root := make([]byte, p.N)
+		Sign(ctx, root, sig, msg, path.tree, path.leaf)
 		if !bytes.Equal(root, pub) {
 			t.Fatalf("path (%d,%d): root differs from public root", path.tree, path.leaf)
 		}
-		rec := PKFromSig(ctx, sig, msg, path.tree, path.leaf)
+		rec := make([]byte, p.N)
+		PKFromSig(ctx, rec, sig, msg, path.tree, path.leaf)
 		if !bytes.Equal(rec, pub) {
 			t.Fatalf("path (%d,%d): recovery differs from public root", path.tree, path.leaf)
 		}
@@ -54,11 +56,12 @@ func TestRecoverRejectsWrongPath(t *testing.T) {
 	pub := Root(ctx)
 	msg := make([]byte, p.N)
 	sig := make([]byte, p.D*p.XMSSBytes)
-	Sign(ctx, sig, msg, 5, 2)
-	if bytes.Equal(PKFromSig(ctx, sig, msg, 5, 3), pub) {
+	rec := make([]byte, p.N)
+	Sign(ctx, nil, sig, msg, 5, 2)
+	if PKFromSig(ctx, rec, sig, msg, 5, 3); bytes.Equal(rec, pub) {
 		t.Fatal("wrong leaf accepted")
 	}
-	if bytes.Equal(PKFromSig(ctx, sig, msg, 6, 2), pub) {
+	if PKFromSig(ctx, rec, sig, msg, 6, 2); bytes.Equal(rec, pub) {
 		t.Fatal("wrong tree accepted")
 	}
 }
@@ -71,11 +74,12 @@ func TestRecoverRejectsTamperedLayers(t *testing.T) {
 	pub := Root(ctx)
 	msg := make([]byte, p.N)
 	sig := make([]byte, p.D*p.XMSSBytes)
-	Sign(ctx, sig, msg, 9, 1)
+	rec := make([]byte, p.N)
+	Sign(ctx, nil, sig, msg, 9, 1)
 	for layer := 0; layer < p.D; layer += 7 {
 		bad := append([]byte(nil), sig...)
 		bad[layer*p.XMSSBytes] ^= 1
-		if bytes.Equal(PKFromSig(ctx, bad, msg, 9, 1), pub) {
+		if PKFromSig(ctx, rec, bad, msg, 9, 1); bytes.Equal(rec, pub) {
 			t.Fatalf("tampered layer %d accepted", layer)
 		}
 	}

@@ -114,8 +114,24 @@ type SignOptions struct {
 	Counters *hashes.Counters
 }
 
-// Sign produces a SPHINCS+ signature of msg.
-func Sign(sk *PrivateKey, msg []byte, opts *SignOptions) ([]byte, error) {
+// Signer is a reusable signing context for one private key. It keeps the
+// seeded hash midstate, the lane-batch engine and all scratch arenas warm
+// across messages, so the per-message hot path performs no setup hashing
+// and no per-hash allocation. A Signer is NOT safe for concurrent use;
+// create one per worker.
+type Signer struct {
+	sk  *PrivateKey
+	ctx *hashes.Ctx
+}
+
+// NewSigner builds a reusable signer for sk.
+func NewSigner(sk *PrivateKey) *Signer {
+	return &Signer{sk: sk, ctx: hashes.NewCtx(sk.Params, sk.Seed, sk.SKSeed)}
+}
+
+// Sign produces a SPHINCS+ signature of msg, reusing the signer's context.
+func (s *Signer) Sign(msg []byte, opts *SignOptions) ([]byte, error) {
+	sk := s.sk
 	p := sk.Params
 	var optRand []byte
 	var counters *hashes.Counters
@@ -130,7 +146,7 @@ func Sign(sk *PrivateKey, msg []byte, opts *SignOptions) ([]byte, error) {
 		return nil, fmt.Errorf("spx: OptRand must be %d bytes", p.N)
 	}
 
-	ctx := hashes.NewCtx(p, sk.Seed, sk.SKSeed)
+	ctx := s.ctx
 	ctx.C = counters
 
 	sig := make([]byte, p.SigBytes)
@@ -152,8 +168,15 @@ func Sign(sk *PrivateKey, msg []byte, opts *SignOptions) ([]byte, error) {
 	forsPK := fors.Sign(ctx, sig[p.N:p.N+p.ForsBytes], md, &forsAdrs)
 
 	// Hypertree over the FORS public key.
-	hypertree.Sign(ctx, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
+	hypertree.Sign(ctx, nil, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
+	ctx.C = nil
 	return sig, nil
+}
+
+// Sign produces a SPHINCS+ signature of msg with a one-shot context. Batch
+// callers should hold a Signer instead to amortize context setup.
+func Sign(sk *PrivateKey, msg []byte, opts *SignOptions) ([]byte, error) {
+	return NewSigner(sk).Sign(msg, opts)
 }
 
 // ErrVerify is returned when a signature does not verify.
@@ -178,7 +201,8 @@ func Verify(pk *PublicKey, msg, sig []byte) error {
 	forsAdrs.SetKeyPair(leafIdx)
 	forsPK := fors.PKFromSig(ctx, sig[p.N:p.N+p.ForsBytes], md, &forsAdrs)
 
-	root := hypertree.PKFromSig(ctx, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
+	var root [32]byte // N <= 32
+	hypertree.PKFromSig(ctx, root[:p.N], sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
 	for i := 0; i < p.N; i++ {
 		if root[i] != pk.Root[i] {
 			return ErrVerify

@@ -7,35 +7,49 @@
 // therefore expose per-chain entry points (ChainLengths, GenChain) in
 // addition to whole-signature operations, so the simulated kernels can
 // schedule chains onto threads exactly as the CUDA implementation does.
+//
+// The whole-key operations (PKGen, Sign, PKFromSig) are lane-batched: all
+// WOTSLen chains advance step-synchronously, one F per chain per multi-lane
+// pass (hashes.FLanes), mirroring a warp advancing independent chains in
+// lockstep. Outputs are byte-identical to the per-chain path, and hash
+// counters are charged per logical call, so modeled metrics do not change.
 package wots
 
 import (
+	"herosign/internal/sha2"
 	"herosign/internal/spx/address"
 	"herosign/internal/spx/hashes"
 	"herosign/internal/spx/params"
 )
 
-// ChainLengths computes the base-w representation of msg (N bytes) followed
-// by the checksum digits: the start positions of all WOTSLen chains for a
-// signature. The returned slice has length p.WOTSLen and entries in [0, w).
-func ChainLengths(p *params.Params, msg []byte) []uint32 {
-	lengths := make([]uint32, p.WOTSLen)
-	baseW(p, lengths[:p.WOTSLen1], msg)
+// ChainLengthsInto computes the base-w representation of msg (N bytes)
+// followed by the checksum digits — the start positions of all WOTSLen
+// chains — into dst (length >= WOTSLen) without allocating, and returns
+// dst[:WOTSLen]. Entries are in [0, w).
+func ChainLengthsInto(p *params.Params, dst []uint32, msg []byte) []uint32 {
+	dst = dst[:p.WOTSLen]
+	baseW(p, dst[:p.WOTSLen1], msg)
 
 	// Checksum over the message digits.
 	var csum uint32
-	for _, d := range lengths[:p.WOTSLen1] {
+	for _, d := range dst[:p.WOTSLen1] {
 		csum += uint32(p.W-1) - d
 	}
 	// Left-shift so the checksum occupies the top bits of its byte string.
 	csum <<= uint((8 - (p.WOTSLen2*p.LogW)%8) % 8)
-	csumBytes := make([]byte, (p.WOTSLen2*p.LogW+7)/8)
-	for i := len(csumBytes) - 1; i >= 0; i-- {
+	var csumBytes [8]byte // WOTSLen2*LogW is at most 32 bits for all sets
+	nb := (p.WOTSLen2*p.LogW + 7) / 8
+	for i := nb - 1; i >= 0; i-- {
 		csumBytes[i] = byte(csum)
 		csum >>= 8
 	}
-	baseW(p, lengths[p.WOTSLen1:], csumBytes)
-	return lengths
+	baseW(p, dst[p.WOTSLen1:], csumBytes[:nb])
+	return dst
+}
+
+// ChainLengths is ChainLengthsInto with a freshly allocated destination.
+func ChainLengths(p *params.Params, msg []byte) []uint32 {
+	return ChainLengthsInto(p, make([]uint32, p.WOTSLen), msg)
 }
 
 // baseW splits msg into out digits of LogW bits, most-significant first.
@@ -77,22 +91,81 @@ func ChainSK(ctx *hashes.Ctx, out []byte, chain uint32, adrs *address.Address) {
 	ctx.PRF(out, &skAdrs)
 }
 
+// chainSKBatch derives the secret values of all WOTSLen chains into
+// buf (WOTSLen*N bytes), sha2.Lanes at a time.
+func chainSKBatch(ctx *hashes.Ctx, buf []byte, adrs *address.Address) {
+	p := ctx.P
+	var outs [sha2.Lanes][]byte
+	var lanes [sha2.Lanes]address.Address
+	for base := 0; base < p.WOTSLen; base += sha2.Lanes {
+		count := p.WOTSLen - base
+		if count > sha2.Lanes {
+			count = sha2.Lanes
+		}
+		for j := 0; j < count; j++ {
+			chain := base + j
+			outs[j] = buf[chain*p.N : (chain+1)*p.N]
+			lanes[j].CopyKeyPair(adrs)
+			lanes[j].SetType(address.WOTSPRF)
+			lanes[j].SetKeyPair(adrs.KeyPair())
+			lanes[j].SetChain(uint32(chain))
+		}
+		ctx.PRFLanes(count, &outs, &lanes)
+	}
+}
+
+// stepChainsBatch advances every chain i whose [starts[i], ends[i]) range
+// contains the current step, step-synchronously: per hash position s, all
+// live chains take one F in multi-lane passes. buf holds the WOTSLen chain
+// values back to back (N bytes each) and is updated in place.
+func stepChainsBatch(ctx *hashes.Ctx, buf []byte, starts, ends []uint32, adrs *address.Address) {
+	p := ctx.P
+	var outs [sha2.Lanes][]byte
+	var lanes [sha2.Lanes]address.Address
+	maxEnd := uint32(0)
+	for _, e := range ends {
+		if e > maxEnd {
+			maxEnd = e
+		}
+	}
+	for s := uint32(0); s < maxEnd; s++ {
+		count := 0
+		for i := 0; i < p.WOTSLen; i++ {
+			if s < starts[i] || s >= ends[i] {
+				continue
+			}
+			seg := buf[i*p.N : (i+1)*p.N]
+			outs[count] = seg
+			lanes[count].CopyKeyPair(adrs)
+			lanes[count].SetType(address.WOTSHash)
+			lanes[count].SetKeyPair(adrs.KeyPair())
+			lanes[count].SetChain(uint32(i))
+			lanes[count].SetHash(s)
+			count++
+			if count == sha2.Lanes {
+				ctx.FLanes(count, &outs, &outs, &lanes)
+				count = 0
+			}
+		}
+		if count > 0 {
+			ctx.FLanes(count, &outs, &outs, &lanes)
+		}
+	}
+}
+
 // PKGen computes the compressed WOTS+ public key (N bytes) for the key pair
-// identified by adrs (type WOTSHash with key pair set). This runs all
-// WOTSLen chains to their end and compresses them with T_len.
+// identified by adrs (type WOTSHash with key pair set). All WOTSLen chains
+// run to their end step-synchronously before T_len compresses them.
 func PKGen(ctx *hashes.Ctx, out []byte, adrs *address.Address) {
 	p := ctx.P
-	pk := make([]byte, p.WOTSLen*p.N)
-	var chainAdrs address.Address
-	chainAdrs = *adrs
-	chainAdrs.SetType(address.WOTSHash)
-	chainAdrs.SetKeyPair(adrs.KeyPair())
+	pk := ctx.WOTSPKBuf()
+	chainSKBatch(ctx, pk, adrs)
+	var zeros, ends [wotsMaxLen]uint32
 	for i := 0; i < p.WOTSLen; i++ {
-		seg := pk[i*p.N : (i+1)*p.N]
-		ChainSK(ctx, seg, uint32(i), adrs)
-		chainAdrs.SetChain(uint32(i))
-		GenChain(ctx, seg, seg, 0, uint32(p.W-1), &chainAdrs)
+		ends[i] = uint32(p.W - 1)
 	}
+	stepChainsBatch(ctx, pk, zeros[:p.WOTSLen], ends[:p.WOTSLen], adrs)
+
 	var pkAdrs address.Address
 	pkAdrs.CopyKeyPair(adrs)
 	pkAdrs.SetType(address.WOTSPK)
@@ -100,21 +173,19 @@ func PKGen(ctx *hashes.Ctx, out []byte, adrs *address.Address) {
 	ctx.Thash(out, pk, &pkAdrs)
 }
 
+// wotsMaxLen bounds WOTSLen across all supported parameter sets (w=16 at
+// n=32 gives 64+3 = 67; w=256 sets are shorter).
+const wotsMaxLen = 80
+
 // Sign produces the WOTS+ signature of msg (N bytes) into sig
-// (WOTSLen*N bytes) for the key pair identified by adrs.
+// (WOTSLen*N bytes) for the key pair identified by adrs. Chains advance
+// step-synchronously to their per-digit lengths.
 func Sign(ctx *hashes.Ctx, sig, msg []byte, adrs *address.Address) {
 	p := ctx.P
-	lengths := ChainLengths(p, msg)
-	var chainAdrs address.Address
-	chainAdrs = *adrs
-	chainAdrs.SetType(address.WOTSHash)
-	chainAdrs.SetKeyPair(adrs.KeyPair())
-	for i := 0; i < p.WOTSLen; i++ {
-		seg := sig[i*p.N : (i+1)*p.N]
-		ChainSK(ctx, seg, uint32(i), adrs)
-		chainAdrs.SetChain(uint32(i))
-		GenChain(ctx, seg, seg, 0, lengths[i], &chainAdrs)
-	}
+	lengths := ChainLengthsInto(p, ctx.WOTSLengthsBuf(), msg)
+	chainSKBatch(ctx, sig[:p.WOTSBytes], adrs)
+	var zeros [wotsMaxLen]uint32
+	stepChainsBatch(ctx, sig, zeros[:p.WOTSLen], lengths, adrs)
 }
 
 // PKFromSig recovers the compressed public key from a signature and the
@@ -122,17 +193,15 @@ func Sign(ctx *hashes.Ctx, sig, msg []byte, adrs *address.Address) {
 // that reproduces the tree root.
 func PKFromSig(ctx *hashes.Ctx, out, sig, msg []byte, adrs *address.Address) {
 	p := ctx.P
-	lengths := ChainLengths(p, msg)
-	pk := make([]byte, p.WOTSLen*p.N)
-	var chainAdrs address.Address
-	chainAdrs = *adrs
-	chainAdrs.SetType(address.WOTSHash)
-	chainAdrs.SetKeyPair(adrs.KeyPair())
+	lengths := ChainLengthsInto(p, ctx.WOTSLengthsBuf(), msg)
+	pk := ctx.WOTSPKBuf()
+	copy(pk, sig[:p.WOTSBytes])
+	var ends [wotsMaxLen]uint32
 	for i := 0; i < p.WOTSLen; i++ {
-		seg := pk[i*p.N : (i+1)*p.N]
-		chainAdrs.SetChain(uint32(i))
-		GenChain(ctx, seg, sig[i*p.N:(i+1)*p.N], lengths[i], uint32(p.W-1)-lengths[i], &chainAdrs)
+		ends[i] = uint32(p.W - 1)
 	}
+	stepChainsBatch(ctx, pk, lengths, ends[:p.WOTSLen], adrs)
+
 	var pkAdrs address.Address
 	pkAdrs.CopyKeyPair(adrs)
 	pkAdrs.SetType(address.WOTSPK)

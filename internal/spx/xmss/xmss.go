@@ -5,7 +5,8 @@
 // Node-level primitives are exported so the simulated TREE_Sign kernel can
 // distribute leaf generation (wots_gen_leaf) and the tree reduction across
 // threads, while Sign/Root remain the sequential reference used as the
-// correctness oracle.
+// correctness oracle. Leaf generation runs on the lane-batched WOTS+ chain
+// stepper and each reduction level folds its nodes in multi-lane H passes.
 package xmss
 
 import (
@@ -26,20 +27,29 @@ func GenLeaf(ctx *hashes.Ctx, out []byte, treeAdrs *address.Address, leafIdx uin
 	wots.PKGen(ctx, out, &adrs)
 }
 
-// TreeHash computes the subtree root, optionally collecting the
+// reduceLevel folds one level of width nodes in place with lane-batched H
+// calls (hashes.HReduceLevel); h is the (1-based) height of the produced
+// nodes.
+func reduceLevel(ctx *hashes.Ctx, level []byte, width int, treeAdrs *address.Address, h int) {
+	ctx.HReduceLevel(level, width, func(a *address.Address, i int) {
+		a.CopySubtree(treeAdrs)
+		a.SetType(address.Tree)
+		a.SetTreeHeight(uint32(h))
+		a.SetTreeIndex(uint32(i))
+	})
+}
+
+// TreeHash computes the subtree root into root, optionally collecting the
 // authentication path for leafIdx into auth (TreeHeight*N bytes, nil to
 // skip). It materializes the full leaf level — subtrees have at most
 // 2^TreeHeight <= 16 leaves for the -f sets, and at most 512 for -s.
 func TreeHash(ctx *hashes.Ctx, root []byte, treeAdrs *address.Address, leafIdx uint32, auth []byte) {
 	p := ctx.P
 	width := 1 << uint(p.TreeHeight)
-	level := make([]byte, width*p.N)
+	level := ctx.XMSSLevelBuf()
 	for i := 0; i < width; i++ {
 		GenLeaf(ctx, level[i*p.N:(i+1)*p.N], treeAdrs, uint32(i))
 	}
-	var nodeAdrs address.Address
-	nodeAdrs.CopySubtree(treeAdrs)
-	nodeAdrs.SetType(address.Tree)
 
 	idx := leafIdx
 	for h := 0; h < p.TreeHeight; h++ {
@@ -47,14 +57,7 @@ func TreeHash(ctx *hashes.Ctx, root []byte, treeAdrs *address.Address, leafIdx u
 			sib := idx ^ 1
 			copy(auth[h*p.N:(h+1)*p.N], level[int(sib)*p.N:int(sib+1)*p.N])
 		}
-		nodeAdrs.SetTreeHeight(uint32(h + 1))
-		for i := 0; i < width/2; i++ {
-			nodeAdrs.SetTreeIndex(uint32(i))
-			ctx.H(level[i*p.N:(i+1)*p.N],
-				level[2*i*p.N:(2*i+1)*p.N],
-				level[(2*i+1)*p.N:(2*i+2)*p.N],
-				&nodeAdrs)
-		}
+		reduceLevel(ctx, level, width, treeAdrs, h+1)
 		width /= 2
 		idx >>= 1
 	}
@@ -62,10 +65,11 @@ func TreeHash(ctx *hashes.Ctx, root []byte, treeAdrs *address.Address, leafIdx u
 }
 
 // Sign produces one XMSS layer signature: the WOTS+ signature of msg under
-// the leaf key pair leafIdx, followed by the authentication path. It also
-// returns the subtree root (which the next layer up signs).
-// sig must be XMSSBytes long.
-func Sign(ctx *hashes.Ctx, sig, msg []byte, treeAdrs *address.Address, leafIdx uint32) []byte {
+// the leaf key pair leafIdx, followed by the authentication path. The
+// subtree root (which the next layer up signs) is written to root (N
+// bytes); sig must be XMSSBytes long. root must not alias sig, but may
+// alias msg: msg is fully consumed before the root is written.
+func Sign(ctx *hashes.Ctx, root, sig, msg []byte, treeAdrs *address.Address, leafIdx uint32) {
 	p := ctx.P
 	var wotsAdrs address.Address
 	wotsAdrs.CopySubtree(treeAdrs)
@@ -73,22 +77,21 @@ func Sign(ctx *hashes.Ctx, sig, msg []byte, treeAdrs *address.Address, leafIdx u
 	wotsAdrs.SetKeyPair(leafIdx)
 	wots.Sign(ctx, sig[:p.WOTSBytes], msg, &wotsAdrs)
 
-	root := make([]byte, p.N)
 	TreeHash(ctx, root, treeAdrs, leafIdx, sig[p.WOTSBytes:])
-	return root
 }
 
-// PKFromSig recomputes the subtree root from an XMSS signature: recover the
-// WOTS+ public key, then climb the authentication path.
-func PKFromSig(ctx *hashes.Ctx, sig, msg []byte, treeAdrs *address.Address, leafIdx uint32) []byte {
+// PKFromSig recomputes the subtree root from an XMSS signature into root
+// (N bytes): recover the WOTS+ public key, then climb the authentication
+// path. root may alias msg.
+func PKFromSig(ctx *hashes.Ctx, root, sig, msg []byte, treeAdrs *address.Address, leafIdx uint32) {
 	p := ctx.P
 	var wotsAdrs address.Address
 	wotsAdrs.CopySubtree(treeAdrs)
 	wotsAdrs.SetType(address.WOTSHash)
 	wotsAdrs.SetKeyPair(leafIdx)
 
-	node := make([]byte, p.N)
-	wots.PKFromSig(ctx, node, sig[:p.WOTSBytes], msg, &wotsAdrs)
+	var node [32]byte // N <= 32
+	wots.PKFromSig(ctx, node[:p.N], sig[:p.WOTSBytes], msg, &wotsAdrs)
 
 	var nodeAdrs address.Address
 	nodeAdrs.CopySubtree(treeAdrs)
@@ -100,11 +103,11 @@ func PKFromSig(ctx *hashes.Ctx, sig, msg []byte, treeAdrs *address.Address, leaf
 		nodeAdrs.SetTreeIndex(idx >> 1)
 		authNode := auth[h*p.N : (h+1)*p.N]
 		if idx&1 == 0 {
-			ctx.H(node, node, authNode, &nodeAdrs)
+			ctx.H(node[:p.N], node[:p.N], authNode, &nodeAdrs)
 		} else {
-			ctx.H(node, authNode, node, &nodeAdrs)
+			ctx.H(node[:p.N], authNode, node[:p.N], &nodeAdrs)
 		}
 		idx >>= 1
 	}
-	return node
+	copy(root[:p.N], node[:p.N])
 }

@@ -43,11 +43,13 @@ func TestSignThenRecoverEveryLeaf(t *testing.T) {
 
 	for leaf := uint32(0); leaf < 1<<uint(p.TreeHeight); leaf++ {
 		sig := make([]byte, p.XMSSBytes)
-		root := Sign(ctx, sig, msg, adrs, leaf)
+		root := make([]byte, p.N)
+		Sign(ctx, root, sig, msg, adrs, leaf)
 		if !bytes.Equal(root, wantRoot) {
 			t.Fatalf("leaf %d: Sign returned a different root", leaf)
 		}
-		rec := PKFromSig(ctx, sig, msg, adrs, leaf)
+		rec := make([]byte, p.N)
+		PKFromSig(ctx, rec, sig, msg, adrs, leaf)
 		if !bytes.Equal(rec, wantRoot) {
 			t.Fatalf("leaf %d: PKFromSig root mismatch", leaf)
 		}
@@ -78,8 +80,10 @@ func TestRecoverRejectsWrongLeafIndex(t *testing.T) {
 	adrs := subtree(1, 77)
 	msg := make([]byte, p.N)
 	sig := make([]byte, p.XMSSBytes)
-	root := Sign(ctx, sig, msg, adrs, 3)
-	rec := PKFromSig(ctx, sig, msg, adrs, 4)
+	root := make([]byte, p.N)
+	Sign(ctx, root, sig, msg, adrs, 3)
+	rec := make([]byte, p.N)
+	PKFromSig(ctx, rec, sig, msg, adrs, 4)
 	if bytes.Equal(rec, root) {
 		t.Fatal("wrong leaf index recovered the root")
 	}
