@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-compare serve
+.PHONY: build test vet bench bench-short bench-compare serve
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ test: vet
 bench: build
 	$(GO) run ./cmd/herosign-bench -json -batch 256 -sample 2 > BENCH_latest.json
 	@echo wrote BENCH_latest.json
+
+# bench-short is the CI smoke lane: a fast subset covering a modeled table,
+# the tuner, and the two wall-clock experiments (lane engine, admission
+# control under overload).
+bench-short: build
+	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload
 
 # bench-compare regenerates BENCH_latest.json and diffs it against the
 # newest committed dated snapshot.

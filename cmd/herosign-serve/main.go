@@ -1,17 +1,26 @@
 // Command herosign-serve runs the HERO-Sign signing service: an HTTP/JSON
-// front end over the request coalescer and the multi-device fleet
-// scheduler.
+// front end over the request coalescer, the shard router and its pluggable
+// backend pools.
 //
 // Usage:
 //
 //	herosign-serve [-addr :8080] [-params 128f] [-gpus "RTX 4090,RTX 4090"]
+//	               [-cpuref 0] [-shards 1] [-queue-limit 0] [-global-queue-limit 0]
+//	               [-shed reject-newest] [-drain 10s]
 //	               [-max-batch 64] [-deadline 2ms] [-key hexfile]
 //
-// The -gpus list creates one worker per entry; repeating a device adds a
-// second worker that shares its cached, tuned signer. Without -key a fresh
+// The -gpus list creates one simulated-GPU backend per entry; repeating a
+// device adds a second worker that shares its cached, tuned signer.
+// -cpuref N adds a real-CPU lane-engine backend with N worker goroutines,
+// so one service mixes modeled-GPU and real-CPU execution. -shards splits
+// the fleet into that many key domains (each signing under its own derived
+// key; see GET /v1/keys). -queue-limit / -global-queue-limit bound
+// admission (0 = unbounded, -1 = auto from backend capacities); overload
+// returns 429 with Retry-After, shedding per -shed. Without -key a fresh
 // key pair is generated and the public key printed on startup.
 //
-// Endpoints: POST /v1/sign, POST /v1/verify, POST /v1/keygen, GET /v1/stats.
+// Endpoints: POST /v1/sign, /v1/sign/batch, /v1/verify, /v1/keygen and
+// GET /v1/keys, /v1/stats.
 package main
 
 import (
@@ -27,12 +36,19 @@ import (
 	"time"
 
 	"herosign"
+	"herosign/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	paramsName := flag.String("params", "128f", "SPHINCS+ parameter set")
-	gpus := flag.String("gpus", "RTX 4090", "comma-separated simulated devices, one worker each")
+	gpus := flag.String("gpus", "RTX 4090", "comma-separated simulated devices, one backend each (empty for none)")
+	cpuref := flag.Int("cpuref", 0, "real-CPU lane-engine backend with N goroutines (0 = none, -1 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "key domains; backends distribute round-robin")
+	queueLimit := flag.Int("queue-limit", 0, "per-shard admission cap (0 = unbounded, -1 = auto)")
+	globalLimit := flag.Int("global-queue-limit", 0, "service-wide admission cap (0 = unbounded, -1 = auto)")
+	shed := flag.String("shed", "reject-newest", "overload policy: reject-newest or drop-oldest-deadline")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain deadline (0 = wait for a full drain)")
 	maxBatch := flag.Int("max-batch", 0, "size-triggered flush threshold (0 = engine SubBatch)")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "coalescing flush deadline")
 	keyFile := flag.String("key", "", "hex-encoded private key file (default: generate)")
@@ -42,24 +58,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *gpus == "" && *cpuref == 0 {
+		fatal(fmt.Errorf("no backends configured: set -gpus and/or -cpuref"))
+	}
+	policy, err := service.ShedPolicyByName(*shed)
+	if err != nil {
+		fatal(err)
+	}
 
 	opts := []herosign.ServiceOption{
 		herosign.WithServiceParams(p),
 		herosign.WithServiceFlushDeadline(*deadline),
+		herosign.WithShards(*shards),
+		herosign.WithQueueLimit(*queueLimit),
+		herosign.WithGlobalQueueLimit(*globalLimit),
+		herosign.WithShedPolicy(policy),
+		herosign.WithDrainDeadline(*drain),
 	}
 	if *maxBatch > 0 {
 		opts = append(opts, herosign.WithServiceMaxBatch(*maxBatch))
 	}
 
 	var devs []*herosign.GPU
-	for _, name := range strings.Split(*gpus, ",") {
-		d, err := herosign.GPUByName(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
+	if *gpus != "" {
+		for _, name := range strings.Split(*gpus, ",") {
+			d, err := herosign.GPUByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			devs = append(devs, d)
 		}
-		devs = append(devs, d)
+		opts = append(opts, herosign.WithServiceDevices(devs...))
 	}
-	opts = append(opts, herosign.WithServiceDevices(devs...))
+	if *cpuref != 0 {
+		opts = append(opts, herosign.WithBackend(herosign.NewCPURefBackend(*cpuref)))
+	}
 
 	if *keyFile != "" {
 		raw, err := os.ReadFile(*keyFile)
@@ -82,17 +115,21 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("herosign-serve: params=%s devices=%s addr=%s\n", p.Name, *gpus, *addr)
-	fmt.Printf("public key (base64): %s\n",
-		base64.StdEncoding.EncodeToString(svc.PublicKey().Bytes()))
+	fmt.Printf("herosign-serve: params=%s addr=%s shards=%d shed=%s queue-limit=%d/%d\n",
+		p.Name, *addr, *shards, policy, *queueLimit, *globalLimit)
+	for _, sh := range svc.Shards() {
+		fmt.Printf("shard %d key=%s backends=%s pk=%s\n",
+			sh.ID, sh.KeyID, strings.Join(sh.Backends, ","),
+			base64.StdEncoding.EncodeToString(sh.PublicKey.Bytes()))
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		<-ctx.Done()
-		fmt.Println("shutting down: draining coalescers and fleet")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Println("shutting down: draining coalescers and backend pools")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()

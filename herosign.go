@@ -23,14 +23,22 @@
 // On top of the batch engine, NewService builds a concurrent
 // request-coalescing signing service (package herosign/service): individual
 // Submit calls are coalesced into GPU-sized batches — flushed on a size
-// threshold or a deadline, whichever fires first — and a fleet scheduler
-// spreads the batches over per-device workers with least-outstanding-work
-// dispatch. An HTTP/JSON front end (Service.Handler) exposes /v1/sign,
-// /v1/verify, /v1/keygen and /v1/stats.
+// threshold or a deadline, whichever fires first — and a shard router
+// spreads the batches over pluggable backends (simulated GPU devices, the
+// real-CPU lane engine via NewCPURefBackend, or custom Backend
+// implementations) with weighted least-outstanding-work dispatch. Each
+// shard owns its own keypair; bounded admission control (WithQueueLimit)
+// sheds overload as ErrOverloaded instead of growing queues without bound.
+// An HTTP/JSON front end (Service.Handler) exposes /v1/sign,
+// /v1/sign/batch, /v1/verify, /v1/keygen, /v1/keys and /v1/stats, mapping
+// overload to 429 with Retry-After.
 //
 //	svc, err := herosign.NewService(
 //		herosign.WithServiceParams(herosign.SPHINCSPlus128f),
-//		herosign.WithServiceDevices(gpuA, gpuB), // one worker per device
+//		herosign.WithServiceDevices(gpuA, gpuB),       // one worker per device
+//		herosign.WithBackend(herosign.NewCPURefBackend(8)), // mix in real CPU
+//		herosign.WithShards(2),                        // two key domains
+//		herosign.WithQueueLimit(herosign.AutoQueueLimit),
 //	)
 //	if err != nil { ... }
 //	defer svc.Close()
@@ -39,10 +47,11 @@
 //	ok, err := svc.Verify(ctx, msg, sig)      // ok == true
 //	http.ListenAndServe(":8080", svc.Handler())
 //
-// Per-device throughput, the batch-size histogram, queue depths and
-// modeled GPU-seconds are available from Service.Stats (and /v1/stats).
-// See cmd/herosign-serve for a ready-made server and
-// examples/service-demo for an open-loop two-device workload.
+// Per-backend throughput and dispatch weights, the batch-size histogram,
+// per-shard queue depths and shed/rejected counters are available from
+// Service.Stats (and /v1/stats). See cmd/herosign-serve for a ready-made
+// server and examples/service-demo for an open-loop mixed-backend workload
+// with an overload scenario.
 package herosign
 
 import (
@@ -220,12 +229,42 @@ func (a *Accelerator) Params() *Params { return a.signer.Params() }
 func (a *Accelerator) Device() *GPU { return a.signer.Device() }
 
 // Service is the concurrent request-coalescing signing service (package
-// herosign/service): a per-kind request coalescer over a multi-device fleet
-// scheduler with an HTTP/JSON front end.
+// herosign/service): per-shard request coalescers over a shard router that
+// spreads batches across pluggable backends with weighted
+// least-outstanding-work dispatch, bounded admission control, and an
+// HTTP/JSON front end.
 type Service = service.Service
 
 // ServiceOption configures NewService.
 type ServiceOption = service.Option
+
+// Backend is one executor in the service fleet: a simulated GPU device, the
+// real-CPU lane engine, or a custom implementation (a future real-CUDA or
+// remote worker registers here instead of rewriting the scheduler).
+type Backend = service.Backend
+
+// ShedPolicy selects what an over-limit shard does with overflow load.
+type ShedPolicy = service.ShedPolicy
+
+// Shed policies for WithShedPolicy.
+const (
+	RejectNewest       = service.RejectNewest
+	DropOldestDeadline = service.DropOldestDeadline
+)
+
+// AutoQueueLimit derives admission caps from backend capacity hints.
+const AutoQueueLimit = service.AutoQueueLimit
+
+// ErrOverloaded is returned (wrapped) by Submit calls the admission
+// controller rejects; the HTTP front end maps it to 429 with Retry-After.
+var ErrOverloaded = service.ErrOverloaded
+
+// NewDeviceBackend wraps a simulated GPU device as a service Backend.
+func NewDeviceBackend(d *GPU) Backend { return service.NewDeviceBackend(d) }
+
+// NewCPURefBackend wraps the real-CPU lane-engine signer as a service
+// Backend with the given worker-goroutine count (<= 0 selects GOMAXPROCS).
+func NewCPURefBackend(threads int) Backend { return service.NewCPURefBackend(threads) }
 
 // Service options, wrapped so callers need only this package. The
 // WithService* names avoid clashing with the Accelerator options.
@@ -255,6 +294,32 @@ func WithServiceSubBatch(n int) ServiceOption { return service.WithSubBatch(n) }
 
 // WithServiceStreams sets the engine stream count.
 func WithServiceStreams(n int) ServiceOption { return service.WithStreams(n) }
+
+// WithBackend registers pre-built backends (NewDeviceBackend,
+// NewCPURefBackend, or custom) alongside any WithServiceDevices workers.
+func WithBackend(bs ...Backend) ServiceOption { return service.WithBackends(bs...) }
+
+// WithShards splits the service into n key domains; backends distribute
+// round-robin across them and each shard signs under its own derived key.
+func WithShards(n int) ServiceOption { return service.WithShards(n) }
+
+// WithQueueLimit bounds each shard's admitted-but-unresolved messages
+// (AutoQueueLimit derives the bound from backend capacities; 0 means
+// unbounded). Past the bound, submits fail with ErrOverloaded and the HTTP
+// front end answers 429 with Retry-After.
+func WithQueueLimit(n int) ServiceOption { return service.WithQueueLimit(n) }
+
+// WithGlobalQueueLimit bounds the whole service's admitted-but-unresolved
+// messages the same way.
+func WithGlobalQueueLimit(n int) ServiceOption { return service.WithGlobalQueueLimit(n) }
+
+// WithShedPolicy selects the overload behavior: RejectNewest (default) or
+// DropOldestDeadline.
+func WithShedPolicy(p ShedPolicy) ServiceOption { return service.WithShedPolicy(p) }
+
+// WithDrainDeadline bounds how long Service.Close waits for queued batches
+// before abandoning them (zero waits for a full drain).
+func WithDrainDeadline(d time.Duration) ServiceOption { return service.WithDrainDeadline(d) }
 
 // NewService builds the request-coalescing signing service. See the
 // package documentation's serving-layer quickstart.

@@ -2,7 +2,9 @@ package herosign
 
 import (
 	"bytes"
+	"context"
 	"testing"
+	"time"
 )
 
 func apiKey(t testing.TB, p *Params) *PrivateKey {
@@ -208,5 +210,48 @@ func TestOptions(t *testing.T) {
 	}
 	if acc.Tuning() != nil {
 		t.Error("baseline features should not run the tuner")
+	}
+}
+
+// TestServiceBackendAPI exercises the new serving-layer surface end to end
+// through the public package: a sharded mixed fleet with bounded admission.
+func TestServiceBackendAPI(t *testing.T) {
+	p := SPHINCSPlus128f
+	gpu, _ := GPUByName("RTX 4090")
+	svc, err := NewService(
+		WithServiceParams(p),
+		WithServiceKey(apiKey(t, p)),
+		WithServiceDevices(gpu),
+		WithBackend(NewCPURefBackend(1)),
+		WithShards(2),
+		WithQueueLimit(AutoQueueLimit),
+		WithShedPolicy(RejectNewest),
+		WithDrainDeadline(time.Minute),
+		WithServiceFlushDeadline(2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	shards := svc.Shards()
+	if len(shards) != 2 {
+		t.Fatalf("Shards() = %d, want 2", len(shards))
+	}
+	ctx := context.Background()
+	msg := []byte("public api over the sharded fleet")
+	sig, err := svc.Sign(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := svc.Verify(ctx, msg, sig) // fan-out across both key domains
+	if err != nil || !ok {
+		t.Fatalf("service signature rejected: ok=%v err=%v", ok, err)
+	}
+	st := svc.Stats()
+	for _, ss := range st.Shards {
+		if ss.QueueLimit <= 0 {
+			t.Fatalf("auto queue limit not applied to shard %d: %+v", ss.Shard, ss)
+		}
 	}
 }

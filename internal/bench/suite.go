@@ -122,6 +122,7 @@ func Experiments() []Experiment {
 		{"profile", "Nsight-style kernel profiles", (*Suite).Profile},
 		{"verify", "Batch verification & key generation", (*Suite).VerifyThroughput},
 		{"lanes", "Host multi-lane SHA-256 engine (wall-clock)", (*Suite).LaneEngine},
+		{"overload", "Admission control under 2x overload (wall-clock)", (*Suite).Overload},
 	}
 }
 

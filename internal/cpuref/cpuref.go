@@ -12,6 +12,7 @@
 package cpuref
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -83,4 +84,91 @@ func SignBatch(sk *spx.PrivateKey, msgs [][]byte, threads int) ([][]byte, *Resul
 		KOPS:     float64(len(msgs)) / elapsed.Seconds() / 1000,
 	}
 	return sigs, res, nil
+}
+
+// VerifyBatch checks msgs[i] against sigs[i] with `threads` worker
+// goroutines (threads <= 0 selects GOMAXPROCS). A malformed or forged
+// signature yields ok[i] == false; only infrastructure failures return an
+// error.
+func VerifyBatch(pk *spx.PublicKey, msgs, sigs [][]byte, threads int) ([]bool, *Result, error) {
+	if len(msgs) != len(sigs) {
+		return nil, nil, fmt.Errorf("cpuref: %d messages but %d signatures", len(msgs), len(sigs))
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(msgs) {
+		threads = len(msgs)
+	}
+	ok := make([]bool, len(msgs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(msgs); i += threads {
+				ok[i] = spx.Verify(pk, msgs[i], sigs[i]) == nil
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := &Result{
+		Params:   pk.Params,
+		Threads:  threads,
+		Messages: len(msgs),
+		Elapsed:  elapsed,
+		KOPS:     float64(len(msgs)) / elapsed.Seconds() / 1000,
+	}
+	return ok, res, nil
+}
+
+// KeyGenBatch derives one key pair per seed triple with `threads` worker
+// goroutines. Keys are byte-identical to spx.KeyFromSeeds.
+func KeyGenBatch(p *params.Params, skSeeds, skPRFs, pkSeeds [][]byte, threads int) ([]*spx.PrivateKey, *Result, error) {
+	n := len(skSeeds)
+	if len(skPRFs) != n || len(pkSeeds) != n {
+		return nil, nil, fmt.Errorf("cpuref: seed component counts differ: %d/%d/%d",
+			len(skSeeds), len(skPRFs), len(pkSeeds))
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > n {
+		threads = n
+	}
+	keys := make([]*spx.PrivateKey, n)
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += threads {
+				sk, err := spx.KeyFromSeeds(p, skSeeds[i], skPRFs[i], pkSeeds[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				keys[i] = sk
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	res := &Result{
+		Params:   p,
+		Threads:  threads,
+		Messages: n,
+		Elapsed:  elapsed,
+		KOPS:     float64(n) / elapsed.Seconds() / 1000,
+	}
+	return keys, res, nil
 }

@@ -74,3 +74,76 @@ func TestPaperConstantsPresent(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyBatch: parallel verification must agree with spx.Verify,
+// including forged entries, without poisoning batch-mates.
+func TestVerifyBatch(t *testing.T) {
+	sk := key(t)
+	msgs := make([][]byte, 5)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 'v'}
+	}
+	sigs, _, err := SignBatch(sk, msgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge one signature and truncate another.
+	sigs[1] = append([]byte(nil), sigs[1]...)
+	sigs[1][40] ^= 0xff
+	sigs[3] = sigs[3][:17]
+	ok, res, err := VerifyBatch(&sk.PublicKey, msgs, sigs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false, true}
+	for i := range want {
+		if ok[i] != want[i] {
+			t.Errorf("verdict %d = %v, want %v", i, ok[i], want[i])
+		}
+	}
+	if res.Messages != 5 {
+		t.Fatalf("result %+v", res)
+	}
+	if _, _, err := VerifyBatch(&sk.PublicKey, msgs, sigs[:2], 2); err == nil {
+		t.Fatal("mismatched message/signature counts must error")
+	}
+}
+
+// TestKeyGenBatch: parallel derivation must be byte-identical to
+// spx.KeyFromSeeds.
+func TestKeyGenBatch(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	n := 4
+	skSeeds := make([][]byte, n)
+	skPRFs := make([][]byte, n)
+	pkSeeds := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		mk := func(tag byte) []byte {
+			b := make([]byte, p.N)
+			for j := range b {
+				b[j] = byte(i)*7 + tag + byte(j)
+			}
+			return b
+		}
+		skSeeds[i], skPRFs[i], pkSeeds[i] = mk(1), mk(2), mk(3)
+	}
+	keys, res, err := KeyGenBatch(p, skSeeds, skPRFs, pkSeeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != n {
+		t.Fatalf("result %+v", res)
+	}
+	for i, k := range keys {
+		want, err := spx.KeyFromSeeds(p, skSeeds[i], skPRFs[i], pkSeeds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(k.Bytes(), want.Bytes()) {
+			t.Errorf("key %d differs from KeyFromSeeds", i)
+		}
+	}
+	if _, _, err := KeyGenBatch(p, skSeeds, skPRFs[:1], pkSeeds, 2); err == nil {
+		t.Fatal("mismatched seed component counts must error")
+	}
+}

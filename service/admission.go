@@ -1,0 +1,98 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the sentinel behind admission rejections. Rejections are
+// returned as *OverloadError (which unwraps to ErrOverloaded via errors.Is)
+// so callers can read the retry hint; the HTTP layer maps them to 429 with
+// a Retry-After header.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// OverloadError reports an admission rejection with a drain-time estimate.
+type OverloadError struct {
+	// Scope is "shard" or "global" depending on which cap rejected.
+	Scope string
+	// RetryAfter estimates when capacity frees up: the rejecting queue's
+	// outstanding messages divided by its sigs/s weight.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (%s queue full, retry in %s)",
+		e.Scope, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// ShedPolicy selects what an over-limit shard does with the overflow.
+type ShedPolicy int
+
+const (
+	// RejectNewest (the default) rejects the incoming request with
+	// ErrOverloaded and leaves the queue untouched.
+	RejectNewest ShedPolicy = iota
+	// DropOldestDeadline sheds the oldest still-coalescing request of the
+	// same kind — the one closest to its flush deadline — resolving its
+	// future with ErrOverloaded, and admits the incoming request in its
+	// place. Requests already flushed to a backend are never dropped.
+	DropOldestDeadline
+)
+
+// String names the policy for stats and flags.
+func (p ShedPolicy) String() string {
+	switch p {
+	case RejectNewest:
+		return "reject-newest"
+	case DropOldestDeadline:
+		return "drop-oldest-deadline"
+	}
+	return "unknown"
+}
+
+// ShedPolicyByName parses a policy name as printed by String.
+func ShedPolicyByName(name string) (ShedPolicy, error) {
+	switch name {
+	case "reject-newest":
+		return RejectNewest, nil
+	case "drop-oldest-deadline", "drop-oldest":
+		return DropOldestDeadline, nil
+	}
+	return 0, fmt.Errorf("service: unknown shed policy %q (have reject-newest, drop-oldest-deadline)", name)
+}
+
+// AutoQueueLimit, passed to WithQueueLimit or WithGlobalQueueLimit, derives
+// the cap from the backends' Capacity hints instead of a fixed count.
+const AutoQueueLimit = -1
+
+// gate is a bounded admission counter: n admitted-but-unresolved messages
+// against a fixed limit (0 = unbounded).
+type gate struct {
+	limit int64
+	n     atomic.Int64
+}
+
+// tryAcquire admits k messages unless that would exceed the limit.
+func (g *gate) tryAcquire(k int64) bool {
+	if g.limit <= 0 {
+		g.n.Add(k)
+		return true
+	}
+	for {
+		cur := g.n.Load()
+		if cur+k > g.limit {
+			return false
+		}
+		if g.n.CompareAndSwap(cur, cur+k) {
+			return true
+		}
+	}
+}
+
+func (g *gate) release(k int64) { g.n.Add(-k) }
+
+func (g *gate) depth() int64 { return g.n.Load() }

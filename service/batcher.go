@@ -24,6 +24,13 @@ var (
 	// ErrSeedLength is resolved into a keygen future whose seed triple had
 	// wrong-length components; the rest of the batch proceeds.
 	ErrSeedLength = errors.New("service: seed triple has wrong lengths")
+	// ErrUnknownKey is returned by Submit calls naming a key ID no shard
+	// owns.
+	ErrUnknownKey = errors.New("service: unknown key id")
+	// ErrBatchTooLarge is returned by SubmitSignBatch when the batch could
+	// never fit the admission caps even on an idle service — unlike
+	// ErrOverloaded, retrying cannot help; split the batch instead.
+	ErrBatchTooLarge = errors.New("service: batch exceeds admission capacity")
 )
 
 // Kind identifies the job type a request carries through the batcher and
@@ -56,7 +63,9 @@ type Result struct {
 	Valid bool        // KindVerify: the verdict
 	Key   *PrivateKey // KindKeyGen: the derived key pair
 	Batch int         // size of the coalesced batch this request rode in
-	Dev   string      // device that executed the batch
+	Dev   string      // backend that executed the batch
+	KeyID string      // key domain the executing shard owns
+	Shard int         // shard that executed the batch
 }
 
 // Future is the pending result of a Submit call. It resolves exactly once,
@@ -97,6 +106,23 @@ type request struct {
 	sig  []byte
 	seed core.SeedTriple
 	fut  *Future
+	// release returns the request's admission slots; set when the request
+	// is admitted, invoked exactly once via resolve.
+	release func()
+	// pinned marks members of an atomically admitted batch: the
+	// drop-oldest-deadline policy never sheds them (evicting one member
+	// would waste the whole batch's work).
+	pinned bool
+}
+
+// resolve settles the request's future and returns its admission slots.
+// Every admitted request must be settled through this method (not the
+// future directly) so the admission gates drain.
+func (r *request) resolve(res Result, err error) {
+	r.fut.resolve(res, err)
+	if r.release != nil {
+		r.release()
+	}
 }
 
 // batcher coalesces individual requests of one kind into GPU-sized batches.
@@ -174,6 +200,32 @@ func (b *batcher) deadlineFlush(gen uint64) {
 	batch := b.take()
 	b.mu.Unlock()
 	b.flush(b.kind, batch)
+}
+
+// evictOldest removes and returns the oldest still-coalescing unpinned
+// request — the one closest to its flush deadline — or nil when nothing is
+// evictable. The caller resolves the evicted request; the
+// drop-oldest-deadline shed policy uses this to make room for a new
+// admission.
+func (b *batcher) evictOldest() *request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	for i, r := range b.pending {
+		if r.pinned {
+			continue
+		}
+		b.pending = append(b.pending[:i], b.pending[i+1:]...)
+		if len(b.pending) == 0 && b.timer != nil {
+			b.timer.Stop()
+			b.timer = nil
+			b.gen++
+		}
+		return r
+	}
+	return nil
 }
 
 // depth reports the number of requests waiting for a flush.

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"herosign/internal/cpuref"
+	"herosign/internal/spx"
+)
+
+// cpurefBackend executes batches on the host CPU through the multi-goroutine
+// lane-engine reference implementation. Unlike the simulated device
+// backends, its BusyUs is measured wall time, so a mixed fleet dispatches on
+// real CPU throughput versus modeled GPU throughput — both in sigs/s.
+type cpurefBackend struct {
+	threads int
+	weight  weightMeter
+}
+
+// NewCPURefBackend wraps the real-CPU lane-engine signer as a Backend with
+// the given worker-goroutine count (<= 0 selects GOMAXPROCS). Signatures
+// are byte-identical to the simulated backends' — only scheduling and
+// throughput differ.
+func NewCPURefBackend(threads int) Backend {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &cpurefBackend{threads: threads}
+}
+
+func (b *cpurefBackend) Name() string { return fmt.Sprintf("cpuref-%dt", b.threads) }
+
+func (b *cpurefBackend) Capacity() int { return 8 * b.threads }
+
+// PreferredBatch keeps every worker goroutine busy for a few messages per
+// flush without stretching coalescing latency.
+func (b *cpurefBackend) PreferredBatch() int { return 4 * b.threads }
+
+func (b *cpurefBackend) Weight() float64 { return b.weight.get() }
+
+// Warm calibrates the dispatch weight by timing one real signature and
+// scaling by the worker count (batched signing parallelizes linearly until
+// the cores run out).
+func (b *cpurefBackend) Warm(key *PrivateKey) error {
+	signer := spx.NewSigner(key)
+	start := time.Now()
+	if _, err := signer.Sign([]byte("herosign-cpuref-warm"), nil); err != nil {
+		return err
+	}
+	perSig := time.Since(start)
+	if perSig > 0 {
+		b.weight.seed(float64(b.threads) / perSig.Seconds())
+	}
+	return nil
+}
+
+func (b *cpurefBackend) RunBatch(ctx context.Context, key *PrivateKey, job *Job) (*BatchOutput, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch job.Kind {
+	case KindSign:
+		sigs, res, err := cpuref.SignBatch(key, job.Msgs, b.threads)
+		if err != nil {
+			return nil, err
+		}
+		busyUs := float64(res.Elapsed.Microseconds())
+		b.weight.observe(len(job.Msgs), busyUs)
+		return &BatchOutput{Sigs: sigs, BusyUs: busyUs}, nil
+	case KindVerify:
+		ok, res, err := cpuref.VerifyBatch(&key.PublicKey, job.Msgs, job.Sigs, b.threads)
+		if err != nil {
+			return nil, err
+		}
+		return &BatchOutput{OK: ok, BusyUs: float64(res.Elapsed.Microseconds())}, nil
+	case KindKeyGen:
+		skSeeds := make([][]byte, len(job.Seeds))
+		skPRFs := make([][]byte, len(job.Seeds))
+		pkSeeds := make([][]byte, len(job.Seeds))
+		for i, s := range job.Seeds {
+			skSeeds[i], skPRFs[i], pkSeeds[i] = s.SKSeed, s.SKPRF, s.PKSeed
+		}
+		keys, res, err := cpuref.KeyGenBatch(key.Params, skSeeds, skPRFs, pkSeeds, b.threads)
+		if err != nil {
+			return nil, err
+		}
+		return &BatchOutput{Keys: keys, BusyUs: float64(res.Elapsed.Microseconds())}, nil
+	}
+	return nil, fmt.Errorf("service: unknown job kind %d", job.Kind)
+}

@@ -3,27 +3,49 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"time"
 )
+
+// MaxBodyBytes caps request bodies on the HTTP front end; larger bodies get
+// 413. Generous for any sane sign/verify payload (a 256f signature is
+// ~50 KB base64) while bounding memory per connection.
+const MaxBodyBytes = 1 << 20
 
 // JSON wire types. []byte fields travel as standard base64 strings.
 type signRequest struct {
 	Message []byte `json:"message"`
+	KeyID   string `json:"key_id,omitempty"` // "" routes to the least-loaded shard
 }
 
 type signResponse struct {
 	Signature []byte `json:"signature"`
+	KeyID     string `json:"key_id"` // key domain that signed; verify against its key
+	Shard     int    `json:"shard"`
 	Batch     int    `json:"batch"`  // coalesced batch size the request rode in
-	Device    string `json:"device"` // worker that executed it
+	Device    string `json:"device"` // backend that executed it
+}
+
+type signBatchRequest struct {
+	Messages [][]byte `json:"messages"`
+	KeyID    string   `json:"key_id,omitempty"`
+}
+
+type signBatchResponse struct {
+	KeyID      string   `json:"key_id"`
+	Signatures [][]byte `json:"signatures"`
 }
 
 type verifyRequest struct {
 	Message   []byte `json:"message"`
 	Signature []byte `json:"signature"`
+	KeyID     string `json:"key_id,omitempty"` // "" checks every shard's key
 }
 
 type verifyResponse struct {
 	Valid  bool   `json:"valid"`
+	KeyID  string `json:"key_id"`
 	Batch  int    `json:"batch"`
 	Device string `json:"device"`
 }
@@ -42,26 +64,46 @@ type keygenResponse struct {
 	Keys   []keygenKey `json:"keys"`
 }
 
+type keyInfo struct {
+	KeyID     string `json:"key_id"`
+	Shard     int    `json:"shard"`
+	PublicKey []byte `json:"public_key"`
+}
+
+type keysResponse struct {
+	Params string    `json:"params"`
+	Keys   []keyInfo `json:"keys"`
+}
+
+// errorResponse is the JSON error shape. RetryAfterMs is set on 429s and
+// mirrors the Retry-After header at millisecond resolution.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
 // Handler returns the HTTP/JSON front end:
 //
-//	POST /v1/sign    {"message": b64}               -> {"signature": b64, "batch": n, "device": name}
-//	POST /v1/verify  {"message": b64, "signature": b64} -> {"valid": bool, ...}
-//	POST /v1/keygen  {"count": n}                   -> {"keys": [{"public_key", "private_key"}]}
-//	GET  /v1/stats                                  -> Stats
+//	POST /v1/sign        {"message": b64, "key_id"?: id}  -> {"signature": b64, "key_id": id, ...}
+//	POST /v1/sign/batch  {"messages": [b64...], "key_id"?: id} -> {"signatures": [...], "key_id": id}
+//	POST /v1/verify      {"message": b64, "signature": b64, "key_id"?: id} -> {"valid": bool, ...}
+//	POST /v1/keygen      {"count": n}                     -> {"keys": [{"public_key", "private_key"}]}
+//	GET  /v1/keys                                         -> shard key catalog
+//	GET  /v1/stats                                        -> Stats
 //
 // Each request is submitted through the coalescer, so concurrent HTTP
-// clients are batched together onto the fleet.
+// clients are batched together onto the fleet. Overload rejections return
+// 429 with a Retry-After header; request bodies are capped at MaxBodyBytes
+// (413 beyond).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sign", s.handleSign)
+	mux.HandleFunc("POST /v1/sign/batch", s.handleSignBatch)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/keygen", s.handleKeyGen)
+	mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	return http.MaxBytesHandler(mux, MaxBodyBytes)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -71,23 +113,55 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	var over *OverloadError
+	if errors.As(err, &over) {
+		// Retry-After is whole seconds by spec; the JSON body carries the
+		// finer-grained estimate.
+		secs := int64((over.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: err.Error(), RetryAfterMs: over.RetryAfter.Milliseconds(),
+		})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, ErrEmptyMessage), errors.Is(err, ErrSignatureLength):
+	case errors.Is(err, ErrUnknownKey):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrEmptyMessage), errors.Is(err, ErrSignatureLength),
+		errors.Is(err, ErrSeedLength), errors.Is(err, ErrBatchTooLarge):
 		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// decodeJSON decodes the request body, distinguishing oversized bodies
+// (413) from malformed ones (400). It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("body exceeds the %d-byte cap", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 func (s *Service) handleSign(w http.ResponseWriter, r *http.Request) {
 	var req signRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	fut, err := s.SubmitSign(req.Message)
+	fut, err := s.SubmitSignKey(req.KeyID, req.Message)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -97,16 +171,67 @@ func (s *Service) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, signResponse{Signature: res.Sig, Batch: res.Batch, Device: res.Dev})
+	writeJSON(w, http.StatusOK, signResponse{
+		Signature: res.Sig, KeyID: res.KeyID, Shard: res.Shard, Batch: res.Batch, Device: res.Dev,
+	})
+}
+
+// handleSignBatch signs a set of messages under one key domain in a single
+// round trip. Admission is all-or-nothing: a 429 means no message of the
+// batch was admitted (and no signing work was spent on it), so a retry
+// after Retry-After is cheap; admitted members are exempt from
+// drop-oldest-deadline shedding. A batch that cannot fit the admission
+// caps at all is a 400 (split it), not a retryable 429.
+func (s *Service) handleSignBatch(w http.ResponseWriter, r *http.Request) {
+	var req signBatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Messages) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch: no messages"})
+		return
+	}
+	if len(req.Messages) > 256 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch exceeds the 256-message cap"})
+		return
+	}
+	for i, m := range req.Messages {
+		if len(m) == 0 {
+			// Reject up front: one empty member admitted into the batch
+			// would fail alone only after its batch-mates were signed.
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("empty message at index %d", i)})
+			return
+		}
+	}
+	keyID := req.KeyID
+	if keyID == "" {
+		// Pin the whole batch to one shard so every signature shares a key.
+		keyID = s.router.route().keyID
+	}
+	futs, err := s.SubmitSignBatch(keyID, req.Messages)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := signBatchResponse{KeyID: keyID, Signatures: make([][]byte, 0, len(futs))}
+	for _, fut := range futs {
+		res, err := fut.Wait(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Signatures = append(resp.Signatures, res.Sig)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req verifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	fut, err := s.SubmitVerify(req.Message, req.Signature)
+	fut, err := s.SubmitVerifyKey(req.KeyID, req.Message, req.Signature)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -116,13 +241,14 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, verifyResponse{Valid: res.Valid, Batch: res.Batch, Device: res.Dev})
+	writeJSON(w, http.StatusOK, verifyResponse{
+		Valid: res.Valid, KeyID: res.KeyID, Batch: res.Batch, Device: res.Dev,
+	})
 }
 
 func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 	var req keygenRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Count <= 0 {
@@ -151,6 +277,16 @@ func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 		resp.Keys = append(resp.Keys, keygenKey{
 			PublicKey:  res.Key.PublicKey.Bytes(),
 			PrivateKey: res.Key.Bytes(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleKeys(w http.ResponseWriter, r *http.Request) {
+	resp := keysResponse{Params: s.cfg.Params.Name}
+	for _, sh := range s.Shards() {
+		resp.Keys = append(resp.Keys, keyInfo{
+			KeyID: sh.KeyID, Shard: sh.ID, PublicKey: sh.PublicKey.Bytes(),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

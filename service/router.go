@@ -1,0 +1,332 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// shard is one key domain: a keypair plus the worker pools of the backends
+// assigned to it. All signatures in a shard come from its key; the router
+// maps key IDs to shards.
+type shard struct {
+	id    int
+	key   *spx.PrivateKey
+	keyID string
+	pools []*pool
+
+	// gate bounds admitted-but-unresolved messages (coalescing, queued or
+	// executing) for the shard.
+	gate     gate
+	rejected atomic.Int64
+	shed     atomic.Int64
+}
+
+// weight is the shard's aggregate sigs/s estimate.
+func (sh *shard) weight() float64 {
+	var w float64
+	for _, p := range sh.pools {
+		w += p.backend.Weight()
+	}
+	return w
+}
+
+// retryAfter estimates the shard's drain time: outstanding messages over
+// aggregate throughput.
+func (sh *shard) retryAfter() time.Duration {
+	return retryEstimate(sh.gate.depth(), sh.weight())
+}
+
+// retryEstimate converts an outstanding-message backlog and a sigs/s rate
+// into a clamped drain-time hint.
+func retryEstimate(n int64, w float64) time.Duration {
+	if w <= 0 || n <= 0 {
+		return 50 * time.Millisecond
+	}
+	d := time.Duration(float64(n) / w * float64(time.Second))
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// routerConfig collects the resolved construction parameters for newRouter.
+type routerConfig struct {
+	params   *params.Params
+	key      *spx.PrivateKey // shard 0's key; further shard keys derive from it
+	backends []Backend
+	shards   int
+	// queueLimit bounds each shard (0 unbounded, AutoQueueLimit derives
+	// from backend capacities); globalLimit bounds the whole service.
+	queueLimit  int
+	globalLimit int
+	policy      ShedPolicy
+	drain       time.Duration // 0 = drain without deadline
+}
+
+// router spreads key domains over shards and flushed batches over each
+// shard's per-backend pools with weighted least-outstanding-work dispatch.
+type router struct {
+	shards  []*shard
+	pools   []*pool // flattened, worker-id order
+	byKeyID map[string]*shard
+
+	global         gate
+	rejectedGlobal atomic.Int64
+	policy         ShedPolicy
+	drain          time.Duration
+
+	ctx    context.Context // canceled when a drain deadline aborts
+	cancel context.CancelFunc
+
+	// mu orders dispatch against close: dispatch holds the read side across
+	// the closed-check and the enqueue, so close (write side) cannot slip
+	// between them and retire a pool that is about to receive a batch —
+	// which would leave futures unresolved forever.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newRouter(cfg routerConfig) (*router, error) {
+	if cfg.params == nil || cfg.key == nil {
+		return nil, fmt.Errorf("service: params and key are required")
+	}
+	if cfg.key.Params != cfg.params {
+		return nil, fmt.Errorf("service: key parameter set %s does not match service %s",
+			cfg.key.Params.Name, cfg.params.Name)
+	}
+	if len(cfg.backends) == 0 {
+		return nil, fmt.Errorf("service: at least one backend is required")
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.shards > len(cfg.backends) {
+		return nil, fmt.Errorf("service: %d shards need at least as many backends, have %d",
+			cfg.shards, len(cfg.backends))
+	}
+
+	rt := &router{policy: cfg.policy, drain: cfg.drain, byKeyID: make(map[string]*shard)}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+
+	var totalCap int
+	for i := 0; i < cfg.shards; i++ {
+		key := cfg.key
+		if i > 0 {
+			var err error
+			if key, err = deriveShardKey(cfg.key, i); err != nil {
+				return nil, err
+			}
+		}
+		sh := &shard{id: i, key: key, keyID: KeyID(&key.PublicKey)}
+		rt.shards = append(rt.shards, sh)
+		rt.byKeyID[sh.keyID] = sh
+	}
+	// Backends distribute round-robin so heterogeneous fleets spread across
+	// shards instead of clustering the fast backends in shard 0.
+	for i, b := range cfg.backends {
+		sh := rt.shards[i%cfg.shards]
+		if err := b.Warm(sh.key); err != nil {
+			return nil, fmt.Errorf("service: warming backend %s: %w", b.Name(), err)
+		}
+		p := newPool(i, sh.id, b)
+		sh.pools = append(sh.pools, p)
+		rt.pools = append(rt.pools, p)
+		totalCap += b.Capacity()
+	}
+	for _, sh := range rt.shards {
+		var shardCap int
+		for _, p := range sh.pools {
+			shardCap += p.backend.Capacity()
+		}
+		switch {
+		case cfg.queueLimit == AutoQueueLimit:
+			sh.gate.limit = int64(2 * shardCap)
+		case cfg.queueLimit > 0:
+			sh.gate.limit = int64(cfg.queueLimit)
+		}
+	}
+	switch {
+	case cfg.globalLimit == AutoQueueLimit:
+		rt.global.limit = int64(2 * totalCap)
+	case cfg.globalLimit > 0:
+		rt.global.limit = int64(cfg.globalLimit)
+	}
+
+	for _, sh := range rt.shards {
+		for _, p := range sh.pools {
+			rt.wg.Add(1)
+			go func(sh *shard, p *pool) {
+				defer rt.wg.Done()
+				p.run(rt.ctx, sh.key, sh.keyID)
+			}(sh, p)
+		}
+	}
+	return rt, nil
+}
+
+// KeyID derives the stable identifier the router uses to map signing keys
+// to shards: the first 12 hex characters of SHA-256 over the serialized
+// public key.
+func KeyID(pk *PublicKey) string {
+	sum := sha256.Sum256(pk.Bytes())
+	return hex.EncodeToString(sum[:6])
+}
+
+// deriveShardKey deterministically expands the master key into shard i's
+// keypair: each seed component is a domain-separated SHA-256 over the
+// master's secret seeds and the shard index. Shard keys are therefore
+// stable across restarts for a fixed master key and shard count.
+func deriveShardKey(master *spx.PrivateKey, i int) (*spx.PrivateKey, error) {
+	comp := func(tag byte) []byte {
+		h := sha256.New()
+		h.Write([]byte("herosign/shard-key/v1"))
+		h.Write([]byte{tag})
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		h.Write(idx[:])
+		h.Write(master.SKSeed)
+		h.Write(master.SKPRF)
+		h.Write(master.Seed)
+		return h.Sum(nil)[:master.Params.N]
+	}
+	return spx.KeyFromSeeds(master.Params, comp(1), comp(2), comp(3))
+}
+
+// shardFor resolves a key ID to its shard ("" selects weighted routing).
+func (rt *router) shardFor(keyID string) (*shard, error) {
+	if keyID == "" {
+		return rt.route(), nil
+	}
+	if sh, ok := rt.byKeyID[keyID]; ok {
+		return sh, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownKey, keyID)
+}
+
+// route picks the shard with the least outstanding work relative to its
+// aggregate throughput — the shard-level face of weighted
+// least-outstanding-work dispatch. Shards already at their admission cap
+// only win when every shard is full: under partial overload the slack
+// shards absorb traffic (at worse relative load) before anything is
+// rejected.
+func (rt *router) route() *shard {
+	var best *shard
+	var bestScore float64
+	consider := func(sh *shard, full bool) {
+		if sh.gate.limit > 0 && (sh.gate.depth() >= sh.gate.limit) != full {
+			return
+		}
+		if s := loadScore(sh.gate.depth(), sh.weight()); best == nil || s < bestScore {
+			best, bestScore = sh, s
+		}
+	}
+	for _, sh := range rt.shards {
+		consider(sh, false)
+	}
+	if best == nil {
+		for _, sh := range rt.shards {
+			consider(sh, true)
+		}
+	}
+	if best == nil {
+		// Gate depths moved between the two passes (a shard emptied after
+		// the full-only pass started); any shard is valid — admission
+		// re-checks the caps authoritatively.
+		best = rt.shards[0]
+	}
+	return best
+}
+
+// loadScore is outstanding work in estimated seconds-to-drain.
+func loadScore(outstanding int64, weight float64) float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	return float64(outstanding) / weight
+}
+
+// dispatch hands a flushed batch to the shard's pool with the least
+// outstanding work relative to its backend's weight, so a backend modeled
+// at 10× the sigs/s absorbs 10× the queue before the dispatcher prefers a
+// slower sibling. It returns ErrClosed once the router is shutting down.
+func (rt *router) dispatch(sh *shard, j *batchJob) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	best := sh.pools[0]
+	bestScore := loadScore(best.outstanding.Load(), best.backend.Weight())
+	for _, p := range sh.pools[1:] {
+		if s := loadScore(p.outstanding.Load(), p.backend.Weight()); s < bestScore {
+			best, bestScore = p, s
+		}
+	}
+	best.outstanding.Add(int64(len(j.reqs)))
+	best.enqueue(j)
+	return nil
+}
+
+// close stops accepting batches and drains the pools. With a drain deadline
+// configured, batches still queued (not yet started) when it expires are
+// abandoned — their futures resolve ErrClosed — instead of holding Close
+// hostage to an arbitrarily deep queue; the batch currently executing on
+// each backend always completes.
+func (rt *router) close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	// Every dispatch that passed its closed-check has released the read
+	// lock, so its batch is already queued; pools drain their queues before
+	// exiting.
+	for _, p := range rt.pools {
+		p.beginClose()
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	if rt.drain > 0 {
+		select {
+		case <-done:
+		case <-time.After(rt.drain):
+			rt.cancel()
+			for _, p := range rt.pools {
+				p.abort()
+			}
+			<-done
+		}
+	} else {
+		<-done
+	}
+	rt.cancel()
+}
+
+// globalRetryAfter estimates the whole service's drain time: the global
+// gate's backlog over the fleet-wide throughput.
+func (rt *router) globalRetryAfter() time.Duration {
+	var w float64
+	for _, sh := range rt.shards {
+		w += sh.weight()
+	}
+	return retryEstimate(rt.global.depth(), w)
+}
+

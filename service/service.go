@@ -1,18 +1,27 @@
 // Package service turns the HERO-Sign batch engine into a concurrent
 // signing service: a request coalescer collects individual sign / verify /
 // keygen submissions into GPU-sized batches (size threshold or deadline,
-// whichever fires first), and a fleet scheduler spreads the flushed batches
-// over per-device workers with least-outstanding-work dispatch. The
-// structural model is hierarchical: per-device workers below, a fleet-level
-// dispatcher above, a front end (HTTP/JSON, see Handler) on top.
+// whichever fires first), a shard router spreads the flushed batches over
+// per-backend worker pools with weighted least-outstanding-work dispatch,
+// and bounded admission control sheds load once the queues fill. The
+// structural model is hierarchical: pluggable backends below (simulated GPU
+// devices, the real-CPU lane engine, later remote workers), per-backend
+// pools above them, a shard router on top, a front end (HTTP/JSON, see
+// Handler) above everything.
+//
+// Each shard owns its own keypair (derived deterministically from the
+// service master key); the router maps key IDs to shards, so a single
+// service signs under several key domains at once.
 //
 // Signatures produced through the service are byte-identical to the
-// package-level Sign — coalescing changes scheduling, never bytes.
+// package-level Sign — coalescing, sharding and backend choice change
+// scheduling, never bytes.
 package service
 
 import (
 	"context"
 	"crypto/rand"
+	"fmt"
 	"time"
 
 	"herosign/internal/core"
@@ -34,9 +43,33 @@ type (
 // the defaults documented per field; use New with Options rather than
 // filling this in directly.
 type Config struct {
-	Params  *Params     // default SPHINCS+-128f
-	Key     *PrivateKey // default: a fresh key from crypto/rand
-	Devices []*Device   // one worker per entry; default one RTX 4090
+	Params *Params // default SPHINCS+-128f
+	// Key is shard 0's keypair and the root of the per-shard key
+	// derivation. Default: a fresh key from crypto/rand.
+	Key *PrivateKey
+	// Devices become one simulated-GPU backend per entry, built with the
+	// engine knobs below. Backends are appended after them. With neither
+	// set, the default is one RTX 4090 backend.
+	Devices  []*Device
+	Backends []Backend
+
+	// Shards is the number of key domains; backends distribute round-robin
+	// across them. Zero selects one shard (every backend serves one key).
+	Shards int
+
+	// QueueLimit caps each shard's admitted-but-unresolved messages
+	// (coalescing, queued or executing). Zero is unbounded; AutoQueueLimit
+	// derives the cap from the shard's backend capacities.
+	QueueLimit int
+	// GlobalQueueLimit caps the whole service the same way.
+	GlobalQueueLimit int
+	// ShedPolicy selects what an over-limit shard does with the overflow
+	// (default RejectNewest).
+	ShedPolicy ShedPolicy
+	// DrainDeadline bounds how long Close waits for queued batches. Zero
+	// waits for a full drain; past the deadline, not-yet-started batches
+	// resolve ErrClosed.
+	DrainDeadline time.Duration
 
 	// MaxBatch is the size-triggered flush threshold. Zero aligns it with
 	// the engine's SubBatch (64 by default) so a flushed batch maps onto
@@ -59,14 +92,42 @@ type Option func(*Config)
 // WithParams selects the SPHINCS+ parameter set.
 func WithParams(p *Params) Option { return func(c *Config) { c.Params = p } }
 
-// WithKey installs the service signing key (default: freshly generated).
+// WithKey installs the service master key: shard 0 signs under it and
+// further shard keys derive from it (default: freshly generated).
 func WithKey(sk *PrivateKey) Option { return func(c *Config) { c.Key = sk } }
 
-// WithDevices sets the fleet: one worker per device entry. Repeating a
-// device adds a second worker sharing its cached, tuned signer.
+// WithDevices adds one simulated-GPU backend per device entry, configured
+// with the service engine knobs. Repeating a device adds a second backend
+// sharing its cached, tuned signer.
 func WithDevices(devs ...*Device) Option {
-	return func(c *Config) { c.Devices = append([]*Device(nil), devs...) }
+	return func(c *Config) { c.Devices = append(c.Devices, devs...) }
 }
+
+// WithBackends registers pre-built backends (for example NewCPURefBackend,
+// or a custom implementation) alongside any device backends.
+func WithBackends(bs ...Backend) Option {
+	return func(c *Config) { c.Backends = append(c.Backends, bs...) }
+}
+
+// WithShards splits the service into n key domains; backends distribute
+// round-robin across them. n must not exceed the backend count.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithQueueLimit bounds each shard's admitted-but-unresolved messages
+// (AutoQueueLimit derives the bound from backend capacities; 0 means
+// unbounded). Past the bound, submits fail with ErrOverloaded.
+func WithQueueLimit(n int) Option { return func(c *Config) { c.QueueLimit = n } }
+
+// WithGlobalQueueLimit bounds the whole service's admitted-but-unresolved
+// messages the same way.
+func WithGlobalQueueLimit(n int) Option { return func(c *Config) { c.GlobalQueueLimit = n } }
+
+// WithShedPolicy selects the overload behavior (default RejectNewest).
+func WithShedPolicy(p ShedPolicy) Option { return func(c *Config) { c.ShedPolicy = p } }
+
+// WithDrainDeadline bounds how long Close waits for queued batches before
+// abandoning them (their futures resolve ErrClosed). Zero waits forever.
+func WithDrainDeadline(d time.Duration) Option { return func(c *Config) { c.DrainDeadline = d } }
 
 // WithMaxBatch sets the size-triggered flush threshold.
 func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
@@ -87,20 +148,34 @@ func WithSubBatch(n int) Option { return func(c *Config) { c.SubBatch = n } }
 // WithStreams sets the engine stream count.
 func WithStreams(n int) Option { return func(c *Config) { c.Streams = n } }
 
+// shardBatchers are one shard's per-kind coalescers.
+type shardBatchers struct {
+	sign, verify, keygen *batcher
+}
+
+func (sb *shardBatchers) byKind(k Kind) *batcher {
+	switch k {
+	case KindSign:
+		return sb.sign
+	case KindVerify:
+		return sb.verify
+	default:
+		return sb.keygen
+	}
+}
+
 // Service is the concurrent request-coalescing signing service.
 type Service struct {
-	cfg    Config
-	fleet  *Fleet
-	sign   *batcher
-	verify *batcher
-	keygen *batcher
+	cfg      Config
+	router   *router
+	batchers []*shardBatchers // indexed by shard id
 
 	start time.Time
 }
 
 // New builds a Service: it resolves defaults, builds (or reuses) one tuned
-// signer per distinct device, starts the per-device workers and the three
-// per-kind coalescers.
+// signer per distinct device backend, derives the shard keys, starts the
+// per-backend pools and the per-shard coalescers.
 func New(opts ...Option) (*Service, error) {
 	var cfg Config
 	for _, o := range opts {
@@ -116,74 +191,321 @@ func New(opts ...Option) (*Service, error) {
 		}
 		cfg.Key = sk
 	}
-	if len(cfg.Devices) == 0 {
-		d, err := device.ByName("RTX 4090")
-		if err != nil {
-			return nil, err
-		}
-		cfg.Devices = []*Device{d}
-	}
 	if cfg.Features == (Features{}) && !cfg.baselineFeatures {
 		cfg.Features = core.AllFeatures()
 	}
 
-	fleet, err := NewFleet(cfg.Params, cfg.Key, cfg.Devices, core.Config{
-		Features: cfg.Features, SubBatch: cfg.SubBatch, Streams: cfg.Streams,
+	backends := make([]Backend, 0, len(cfg.Devices)+len(cfg.Backends))
+	engineCfg := core.Config{Features: cfg.Features, SubBatch: cfg.SubBatch, Streams: cfg.Streams}
+	for _, d := range cfg.Devices {
+		backends = append(backends, newDeviceBackend(d, engineCfg))
+	}
+	backends = append(backends, cfg.Backends...)
+	if len(backends) == 0 {
+		d, err := device.ByName("RTX 4090")
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, newDeviceBackend(d, engineCfg))
+	}
+
+	rt, err := newRouter(routerConfig{
+		params: cfg.Params, key: cfg.Key, backends: backends,
+		shards: cfg.Shards, queueLimit: cfg.QueueLimit, globalLimit: cfg.GlobalQueueLimit,
+		policy: cfg.ShedPolicy, drain: cfg.DrainDeadline,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if cfg.MaxBatch == 0 {
-		// Align the flush threshold with the engine's (defaulted) SubBatch
-		// so a full flushed batch maps onto whole launch groups.
-		cfg.MaxBatch = fleet.workers[0].signer.SubBatch()
-	}
-	s := &Service{cfg: cfg, fleet: fleet, start: time.Now()}
-	flush := func(kind Kind, reqs []*request) {
-		if err := fleet.Dispatch(&batchJob{kind: kind, reqs: reqs}); err != nil {
-			for _, r := range reqs {
-				r.fut.resolve(Result{}, err)
+		// Align the flush threshold with the largest preferred batch in the
+		// fleet (for device backends, the engine launch group) so a full
+		// flushed batch maps onto whole execution units. Backends without a
+		// hint fall back to the engine default.
+		best := 0
+		for _, p := range rt.pools {
+			if h, ok := p.backend.(BatchHinter); ok {
+				if n := h.PreferredBatch(); n > best {
+					best = n
+				}
 			}
 		}
+		if best <= 0 {
+			best = 64
+		}
+		cfg.MaxBatch = best
 	}
-	s.sign = newBatcher(KindSign, cfg.MaxBatch, cfg.FlushDeadline, flush)
-	s.verify = newBatcher(KindVerify, cfg.MaxBatch, cfg.FlushDeadline, flush)
-	s.keygen = newBatcher(KindKeyGen, cfg.MaxBatch, cfg.FlushDeadline, flush)
+	s := &Service{cfg: cfg, router: rt, start: time.Now()}
+	for _, sh := range rt.shards {
+		sh := sh
+		flush := func(kind Kind, reqs []*request) {
+			if err := rt.dispatch(sh, &batchJob{kind: kind, reqs: reqs}); err != nil {
+				for _, r := range reqs {
+					r.resolve(Result{}, err)
+				}
+			}
+		}
+		s.batchers = append(s.batchers, &shardBatchers{
+			sign:   newBatcher(KindSign, cfg.MaxBatch, cfg.FlushDeadline, flush),
+			verify: newBatcher(KindVerify, cfg.MaxBatch, cfg.FlushDeadline, flush),
+			keygen: newBatcher(KindKeyGen, cfg.MaxBatch, cfg.FlushDeadline, flush),
+		})
+	}
 	return s, nil
 }
 
 // Params returns the service parameter set.
 func (s *Service) Params() *Params { return s.cfg.Params }
 
-// PublicKey returns the service signing public key.
-func (s *Service) PublicKey() *PublicKey { return s.fleet.PublicKey() }
+// PublicKey returns shard 0's public key — the master key domain. Use
+// Shards for the full key catalog.
+func (s *Service) PublicKey() *PublicKey { return &s.router.shards[0].key.PublicKey }
 
-// SubmitSign queues one message for coalesced signing and returns its
-// future immediately.
-func (s *Service) SubmitSign(msg []byte) (*Future, error) {
+// ShardInfo describes one key domain.
+type ShardInfo struct {
+	ID        int
+	KeyID     string
+	PublicKey *PublicKey
+	Backends  []string
+}
+
+// Shards lists the service's key domains and the backends serving each.
+func (s *Service) Shards() []ShardInfo {
+	out := make([]ShardInfo, 0, len(s.router.shards))
+	for _, sh := range s.router.shards {
+		info := ShardInfo{ID: sh.id, KeyID: sh.keyID, PublicKey: &sh.key.PublicKey}
+		for _, p := range sh.pools {
+			info.Backends = append(info.Backends, p.backend.Name())
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// PublicKeyFor resolves a key ID to its shard's public key.
+func (s *Service) PublicKeyFor(keyID string) (*PublicKey, error) {
+	sh, ok := s.router.byKeyID[keyID]
+	if !ok {
+		return nil, ErrUnknownKey
+	}
+	return &sh.key.PublicKey, nil
+}
+
+// admit charges one message against the global and shard admission gates,
+// applying the shed policy on overflow. On success the request carries a
+// release hook that refunds the slots when its future resolves.
+func (s *Service) admit(sh *shard, kind Kind, r *request) error {
+	rt := s.router
+	if !rt.global.tryAcquire(1) {
+		if !(s.cfg.ShedPolicy == DropOldestDeadline && s.shedOne(sh, kind) && rt.global.tryAcquire(1)) {
+			rt.rejectedGlobal.Add(1)
+			return &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
+		}
+	}
+	if !sh.gate.tryAcquire(1) {
+		if !(s.cfg.ShedPolicy == DropOldestDeadline && s.shedOne(sh, kind) && sh.gate.tryAcquire(1)) {
+			rt.global.release(1)
+			sh.rejected.Add(1)
+			return &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
+		}
+	}
+	r.release = func() {
+		sh.gate.release(1)
+		rt.global.release(1)
+	}
+	return nil
+}
+
+// shedOne evicts the oldest still-coalescing request of the same kind from
+// the shard, resolving it with ErrOverloaded; its release refunds the slots
+// the caller is about to claim.
+func (s *Service) shedOne(sh *shard, kind Kind) bool {
+	old := s.batchers[sh.id].byKind(kind).evictOldest()
+	if old == nil {
+		return false
+	}
+	sh.shed.Add(1)
+	old.resolve(Result{}, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()})
+	return true
+}
+
+// submitTo admits r into the shard and hands it to the shard's coalescer.
+func (s *Service) submitTo(sh *shard, kind Kind, r *request) error {
+	if err := s.admit(sh, kind, r); err != nil {
+		return err
+	}
+	if err := s.batchers[sh.id].byKind(kind).submit(r); err != nil {
+		r.release()
+		r.release = nil
+		return err
+	}
+	return nil
+}
+
+// SubmitSign queues one message for coalesced signing on a weighted-routed
+// shard and returns its future immediately.
+func (s *Service) SubmitSign(msg []byte) (*Future, error) { return s.SubmitSignKey("", msg) }
+
+// SubmitSignKey queues one message for signing under a specific key domain
+// ("" routes to the least-loaded shard).
+func (s *Service) SubmitSignKey(keyID string, msg []byte) (*Future, error) {
+	sh, err := s.router.shardFor(keyID)
+	if err != nil {
+		return nil, err
+	}
 	r := &request{msg: append([]byte(nil), msg...), fut: newFuture()}
-	if err := s.sign.submit(r); err != nil {
+	if err := s.submitTo(sh, KindSign, r); err != nil {
 		return nil, err
 	}
 	return r.fut, nil
+}
+
+// SubmitSignBatch queues a set of messages for signing under one key
+// domain ("" routes to the least-loaded shard) with all-or-nothing
+// admission: either every message is admitted (one future each) or none is
+// and ErrOverloaded is returned — a rejected batch does no signing work. A
+// batch that could never fit the admission caps even on an idle service
+// fails with ErrBatchTooLarge instead (retrying cannot help; split it).
+// Admitted members are exempt from drop-oldest-deadline shedding, so
+// competing traffic cannot waste the batch by evicting one of them.
+func (s *Service) SubmitSignBatch(keyID string, msgs [][]byte) ([]*Future, error) {
+	sh, err := s.router.shardFor(keyID)
+	if err != nil {
+		return nil, err
+	}
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	rt := s.router
+	k := int64(len(msgs))
+	if (sh.gate.limit > 0 && k > sh.gate.limit) || (rt.global.limit > 0 && k > rt.global.limit) {
+		return nil, fmt.Errorf("%w: %d messages against caps shard=%d global=%d",
+			ErrBatchTooLarge, k, sh.gate.limit, rt.global.limit)
+	}
+	if !rt.global.tryAcquire(k) {
+		rt.rejectedGlobal.Add(1)
+		return nil, &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
+	}
+	if !sh.gate.tryAcquire(k) {
+		rt.global.release(k)
+		sh.rejected.Add(1)
+		return nil, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
+	}
+	release := func() {
+		sh.gate.release(1)
+		rt.global.release(1)
+	}
+	futs := make([]*Future, 0, len(msgs))
+	b := s.batchers[sh.id].byKind(KindSign)
+	for i, msg := range msgs {
+		r := &request{msg: append([]byte(nil), msg...), fut: newFuture(), release: release, pinned: true}
+		if err := b.submit(r); err != nil {
+			// Closed mid-batch: refund the slots of the never-submitted
+			// tail; already-submitted futures resolve through the drain.
+			r.release = nil
+			for j := i; j < len(msgs); j++ {
+				release()
+			}
+			return nil, err
+		}
+		futs = append(futs, r.fut)
+	}
+	return futs, nil
 }
 
 // SubmitVerify queues one (message, signature) pair for coalesced
-// verification.
+// verification. With a single shard the pair checks against its key; with
+// several shards the verdict is valid when any shard's key validates it —
+// pass the signing key ID to SubmitVerifyKey to check one domain (and spend
+// one admission slot instead of one per shard). An invalid verdict is only
+// returned when every shard actually checked the pair; if any shard could
+// not be consulted (overload, shutdown) and no shard validated it, the
+// future resolves with that error instead of a false negative.
 func (s *Service) SubmitVerify(msg, sig []byte) (*Future, error) {
-	r := &request{
-		msg: append([]byte(nil), msg...),
-		sig: append([]byte(nil), sig...),
-		fut: newFuture(),
+	shards := s.router.shards
+	// Copy once; the per-shard requests share the buffers (never mutated).
+	msg = append([]byte(nil), msg...)
+	sig = append([]byte(nil), sig...)
+	if len(shards) == 1 {
+		return s.submitVerifyShared(shards[0], msg, sig)
 	}
-	if err := s.verify.submit(r); err != nil {
+	subs := make([]*Future, 0, len(shards))
+	var submitErr error
+	for _, sh := range shards {
+		fut, err := s.submitVerifyShared(sh, msg, sig)
+		if err != nil {
+			if submitErr == nil {
+				submitErr = err
+			}
+			continue
+		}
+		subs = append(subs, fut)
+	}
+	if len(subs) == 0 {
+		return nil, submitErr
+	}
+	master := newFuture()
+	go func() {
+		var lastRes Result
+		var waitErr error
+		sawVerdict := false
+		for _, fut := range subs {
+			<-fut.Done()
+			switch {
+			case fut.err == nil && fut.res.Valid:
+				master.resolve(fut.res, nil)
+				return
+			case fut.err == nil:
+				lastRes, sawVerdict = fut.res, true
+			case waitErr == nil:
+				waitErr = fut.err
+			}
+		}
+		switch {
+		case submitErr != nil:
+			master.resolve(Result{}, submitErr) // a shard was never consulted
+		case waitErr != nil:
+			master.resolve(Result{}, waitErr) // a consulted shard failed
+		case sawVerdict:
+			master.resolve(lastRes, nil) // every shard says invalid
+		default:
+			master.resolve(Result{}, ErrClosed)
+		}
+	}()
+	return master, nil
+}
+
+// SubmitVerifyKey queues one (message, signature) pair for verification
+// against a specific key domain ("" falls back to SubmitVerify semantics).
+func (s *Service) SubmitVerifyKey(keyID string, msg, sig []byte) (*Future, error) {
+	if keyID == "" {
+		return s.SubmitVerify(msg, sig)
+	}
+	sh, err := s.router.shardFor(keyID)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitVerifyTo(sh, msg, sig)
+}
+
+func (s *Service) submitVerifyTo(sh *shard, msg, sig []byte) (*Future, error) {
+	return s.submitVerifyShared(sh,
+		append([]byte(nil), msg...), append([]byte(nil), sig...))
+}
+
+// submitVerifyShared submits without copying: the caller guarantees the
+// buffers stay untouched until the future resolves.
+func (s *Service) submitVerifyShared(sh *shard, msg, sig []byte) (*Future, error) {
+	r := &request{msg: msg, sig: sig, fut: newFuture()}
+	if err := s.submitTo(sh, KindVerify, r); err != nil {
 		return nil, err
 	}
 	return r.fut, nil
 }
 
-// SubmitKeyGen queues one key derivation. With a nil seed triple, fresh
-// seeds are drawn from crypto/rand.
+// SubmitKeyGen queues one key derivation on the least-loaded shard (key
+// generation is independent of the shard's signing key). With a nil seed
+// triple, fresh seeds are drawn from crypto/rand.
 func (s *Service) SubmitKeyGen(seed *core.SeedTriple) (*Future, error) {
 	var tr core.SeedTriple
 	if seed != nil {
@@ -203,7 +525,7 @@ func (s *Service) SubmitKeyGen(seed *core.SeedTriple) (*Future, error) {
 		tr = core.SeedTriple{SKSeed: buf[:n], SKPRF: buf[n : 2*n], PKSeed: buf[2*n:]}
 	}
 	r := &request{seed: tr, fut: newFuture()}
-	if err := s.keygen.submit(r); err != nil {
+	if err := s.submitTo(s.router.route(), KindKeyGen, r); err != nil {
 		return nil, err
 	}
 	return r.fut, nil
@@ -248,14 +570,18 @@ func (s *Service) KeyGen(ctx context.Context) (*PrivateKey, error) {
 	return res.Key, nil
 }
 
-// Close flushes pending requests, drains the fleet and waits for every
-// in-flight future to resolve. Submits after Close return ErrClosed.
+// Close flushes pending requests, drains the router and waits for every
+// in-flight future to resolve — or, with a drain deadline configured,
+// abandons not-yet-started batches once it expires (their futures resolve
+// ErrClosed). Submits after Close return ErrClosed.
 func (s *Service) Close() error {
-	s.sign.close()
-	s.verify.close()
-	s.keygen.close()
-	// Batches flushed by close are already queued; the fleet drains them
-	// before its workers exit.
-	s.fleet.Close()
+	for _, sb := range s.batchers {
+		sb.sign.close()
+		sb.verify.close()
+		sb.keygen.close()
+	}
+	// Batches flushed by close are already queued; the router drains them
+	// before its pools exit.
+	s.router.close()
 	return nil
 }

@@ -2,11 +2,14 @@ package service
 
 import "fmt"
 
-// DeviceStats reports one worker's counters. All times are modeled device
-// time from the scheduler timelines, not wall time.
-type DeviceStats struct {
+// BackendStats reports one pool's counters. Busy times are the backend's
+// own clock: modeled device time for simulated GPUs, measured wall time for
+// CPU backends.
+type BackendStats struct {
 	Worker  int    `json:"worker"`
-	Device  string `json:"device"`
+	Shard   int    `json:"shard"`
+	Device  string `json:"device"` // backend name (historic field name)
+	KeyID   string `json:"key_id"`
 	Batches int64  `json:"batches"`
 
 	Messages   int64 `json:"messages"`
@@ -14,16 +17,41 @@ type DeviceStats struct {
 	VerifyMsgs int64 `json:"verify_messages"`
 	KeyGenMsgs int64 `json:"keygen_messages"`
 
-	// ModeledBusySec is the device's accumulated modeled execution time
-	// (its stream-accounting clock) across all kinds.
+	// WeightSigsPerSec is the dispatch weight: the backend's current sigs/s
+	// estimate the weighted least-outstanding-work router divides by.
+	WeightSigsPerSec float64 `json:"weight_sigs_per_sec"`
+
+	// ModeledBusySec is the backend's accumulated execution time across all
+	// kinds (its stream-accounting clock for simulated devices).
 	ModeledBusySec   float64 `json:"modeled_busy_sec"`
 	ModeledLaunchSec float64 `json:"modeled_launch_overhead_sec"`
-	// ModeledSignPerSec is the device's signing throughput: signed
-	// messages over modeled signing busy time.
+	// ModeledSignPerSec is the backend's signing throughput: signed
+	// messages over its signing busy time.
 	ModeledSignPerSec float64 `json:"modeled_sign_per_sec"`
 
-	// QueueDepth is messages dispatched to this worker but not completed.
+	// QueueDepth is messages dispatched to this pool but not completed.
 	QueueDepth int64 `json:"queue_depth"`
+}
+
+// ShardStats reports one key domain's admission state.
+type ShardStats struct {
+	Shard    int      `json:"shard"`
+	KeyID    string   `json:"key_id"`
+	Backends []string `json:"backends"`
+
+	// QueueDepth is the shard's admitted-but-unresolved messages
+	// (coalescing, queued or executing); QueueLimit is its admission cap
+	// (0 = unbounded).
+	QueueDepth int64 `json:"queue_depth"`
+	QueueLimit int64 `json:"queue_limit"`
+
+	// Rejected counts submissions refused with ErrOverloaded; Shed counts
+	// coalescing requests evicted by the drop-oldest-deadline policy.
+	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
+
+	// WeightSigsPerSec aggregates the shard's backend weights.
+	WeightSigsPerSec float64 `json:"weight_sigs_per_sec"`
 }
 
 // HistBucket is one batch-size histogram bucket; Le is the inclusive upper
@@ -39,64 +67,96 @@ type Stats struct {
 	MaxBatch  int    `json:"max_batch"`
 	DeadlineM string `json:"flush_deadline"`
 
+	// ShedPolicy names the overload behavior; the counters below record how
+	// often it fired.
+	ShedPolicy string `json:"shed_policy"`
+	// GlobalQueueDepth / GlobalQueueLimit mirror the service-wide admission
+	// gate (limit 0 = unbounded).
+	GlobalQueueDepth int64 `json:"global_queue_depth"`
+	GlobalQueueLimit int64 `json:"global_queue_limit"`
+	// RejectedTotal counts every ErrOverloaded rejection (global and
+	// per-shard); ShedTotal counts drop-oldest-deadline evictions.
+	RejectedTotal int64 `json:"rejected_total"`
+	ShedTotal     int64 `json:"shed_total"`
+
 	// PendingRequests are submitted requests still waiting in a coalescer.
 	PendingRequests int `json:"pending_requests"`
-	// QueuedMessages are flushed messages dispatched to workers but not
-	// yet completed.
+	// QueuedMessages are flushed messages dispatched to pools but not yet
+	// completed.
 	QueuedMessages int64 `json:"queued_messages"`
 
 	TotalMessages int64 `json:"total_messages"`
 	TotalBatches  int64 `json:"total_batches"`
 
-	// ModeledGPUSeconds sums every device's modeled busy time.
+	// ModeledGPUSeconds sums every backend's busy time.
 	ModeledGPUSeconds float64 `json:"modeled_gpu_seconds"`
-	// ModeledMakespanSec is the busiest device's modeled clock — the
-	// fleet-level modeled wall time, since devices run concurrently.
+	// ModeledMakespanSec is the busiest backend's clock — the fleet-level
+	// modeled wall time, since backends run concurrently.
 	ModeledMakespanSec float64 `json:"modeled_makespan_sec"`
 	// ModeledSignPerSec is fleet signing throughput: total signed messages
 	// over the makespan.
 	ModeledSignPerSec float64 `json:"modeled_sign_per_sec"`
 
-	BatchSizeHist []HistBucket  `json:"batch_size_hist"`
-	Devices       []DeviceStats `json:"devices"`
+	BatchSizeHist []HistBucket   `json:"batch_size_hist"`
+	Devices       []BackendStats `json:"devices"` // historic field name
+	Shards        []ShardStats   `json:"shards"`
 }
 
-// Stats snapshots the coalescers and the fleet.
+// Stats snapshots the coalescers, the admission gates and the pools.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Params:          s.cfg.Params.Name,
-		MaxBatch:        s.cfg.MaxBatch,
-		DeadlineM:       s.sign.deadline.String(),
-		PendingRequests: s.sign.depth() + s.verify.depth() + s.keygen.depth(),
+		Params:           s.cfg.Params.Name,
+		MaxBatch:         s.cfg.MaxBatch,
+		DeadlineM:        s.batchers[0].sign.deadline.String(),
+		ShedPolicy:       s.cfg.ShedPolicy.String(),
+		GlobalQueueDepth: s.router.global.depth(),
+		GlobalQueueLimit: s.router.global.limit,
+		RejectedTotal:    s.router.rejectedGlobal.Load(),
+	}
+	for _, sb := range s.batchers {
+		st.PendingRequests += sb.sign.depth() + sb.verify.depth() + sb.keygen.depth()
 	}
 	hist := make([]int64, len(histBuckets)+1)
 	var signMsgs int64
-	for _, w := range s.fleet.workers {
-		ws := w.snapshot()
-		busyUs := ws.SignBusyUs + ws.VerifyBusyUs + ws.KeyGenBusyUs
-		ds := DeviceStats{
-			Worker: w.id, Device: w.dev.Name,
-			Batches: ws.Batches, Messages: ws.Messages,
-			SignMsgs: ws.SignMsgs, VerifyMsgs: ws.VerifyMsgs, KeyGenMsgs: ws.KeyGenMsgs,
-			ModeledBusySec:   busyUs / 1e6,
-			ModeledLaunchSec: ws.LaunchOverheadUs / 1e6,
-			QueueDepth:       w.outstanding.Load(),
+	for _, sh := range s.router.shards {
+		ss := ShardStats{
+			Shard: sh.id, KeyID: sh.keyID,
+			QueueDepth: sh.gate.depth(), QueueLimit: sh.gate.limit,
+			Rejected: sh.rejected.Load(), Shed: sh.shed.Load(),
+			WeightSigsPerSec: sh.weight(),
 		}
-		if ws.SignBusyUs > 0 {
-			ds.ModeledSignPerSec = float64(ws.SignMsgs) / (ws.SignBusyUs / 1e6)
+		st.RejectedTotal += ss.Rejected
+		st.ShedTotal += ss.Shed
+		for _, p := range sh.pools {
+			ss.Backends = append(ss.Backends, p.backend.Name())
+			ws := p.snapshot()
+			busyUs := ws.SignBusyUs + ws.VerifyBusyUs + ws.KeyGenBusyUs
+			ds := BackendStats{
+				Worker: p.id, Shard: sh.id, Device: p.backend.Name(), KeyID: sh.keyID,
+				Batches: ws.Batches, Messages: ws.Messages,
+				SignMsgs: ws.SignMsgs, VerifyMsgs: ws.VerifyMsgs, KeyGenMsgs: ws.KeyGenMsgs,
+				WeightSigsPerSec: p.backend.Weight(),
+				ModeledBusySec:   busyUs / 1e6,
+				ModeledLaunchSec: ws.LaunchOverheadUs / 1e6,
+				QueueDepth:       p.outstanding.Load(),
+			}
+			if ws.SignBusyUs > 0 {
+				ds.ModeledSignPerSec = float64(ws.SignMsgs) / (ws.SignBusyUs / 1e6)
+			}
+			st.Devices = append(st.Devices, ds)
+			st.TotalMessages += ws.Messages
+			st.TotalBatches += ws.Batches
+			st.ModeledGPUSeconds += ds.ModeledBusySec
+			if ds.ModeledBusySec > st.ModeledMakespanSec {
+				st.ModeledMakespanSec = ds.ModeledBusySec
+			}
+			st.QueuedMessages += p.outstanding.Load()
+			signMsgs += ws.SignMsgs
+			for i, c := range ws.Hist {
+				hist[i] += c
+			}
 		}
-		st.Devices = append(st.Devices, ds)
-		st.TotalMessages += ws.Messages
-		st.TotalBatches += ws.Batches
-		st.ModeledGPUSeconds += ds.ModeledBusySec
-		if ds.ModeledBusySec > st.ModeledMakespanSec {
-			st.ModeledMakespanSec = ds.ModeledBusySec
-		}
-		st.QueuedMessages += w.outstanding.Load()
-		signMsgs += ws.SignMsgs
-		for i, c := range ws.Hist {
-			hist[i] += c
-		}
+		st.Shards = append(st.Shards, ss)
 	}
 	if st.ModeledMakespanSec > 0 {
 		st.ModeledSignPerSec = float64(signMsgs) / st.ModeledMakespanSec
