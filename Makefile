@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-short bench-compare serve
+.PHONY: build test vet bench bench-short bench-compare serve fleet-demo fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,16 @@ bench-compare: bench
 
 serve: build
 	$(GO) run ./cmd/herosign-serve
+
+# fleet-demo runs the in-process fleet-of-fleets scenario: three leaf
+# servers behind a remote-proxy front end, one leaf killed mid-run, with
+# assertions on ejection latency, goodput recovery, tail latency, the hedge
+# budget and signature byte-identity.
+fleet-demo: build
+	$(GO) run ./examples/fleet-demo
+
+# fleet-smoke is the two-process integration test: a leaf herosign-serve
+# and a remote-only front end over real TCP, 200 verified signs, graceful
+# SIGTERM drain on both.
+fleet-smoke:
+	./scripts/fleet_smoke.sh

@@ -8,6 +8,8 @@
 //	               [-cpuref 0] [-shards 1] [-queue-limit 0] [-global-queue-limit 0]
 //	               [-shed reject-newest] [-drain 10s]
 //	               [-max-batch 64] [-deadline 2ms] [-key hexfile]
+//	               [-remote "http://leaf1:8080,http://leaf2:8080"] [-hedge-p 95]
+//	               [-replica-of http://peer:8080]
 //
 // The -gpus list creates one simulated-GPU backend per entry; repeating a
 // device adds a second worker that shares its cached, tuned signer.
@@ -19,24 +21,45 @@
 // returns 429 with Retry-After, shedding per -shed. Without -key a fresh
 // key pair is generated and the public key printed on startup.
 //
-// Endpoints: POST /v1/sign, /v1/sign/batch, /v1/verify, /v1/keygen and
-// GET /v1/keys, /v1/stats.
+// -remote turns this instance into a fleet-of-fleets front end: each URL
+// becomes a proxy backend that forwards batches to another herosign-serve
+// over HTTP, with health-probed weights, outlier ejection and (with
+// -hedge-p N) hedged retries past the Nth percentile of recent batch
+// latencies. Leaves must be started with this front end's -key (and shard
+// count) so the derived key domains line up; startup fails otherwise. A
+// remote-only front end (-gpus "" -cpuref 0 -remote ...) does no local
+// signing at all.
+//
+// -replica-of asserts this server is interchangeable with a peer: it
+// fetches the peer's /v1/keys and refuses to start unless the catalogs
+// match, catching replicas launched with the wrong key file before a front
+// end hedges requests across them.
+//
+// On SIGINT or SIGTERM the server stops accepting requests and drains
+// in-flight batches up to the -drain deadline before exiting.
+//
+// Endpoints: POST /v1/sign, /v1/sign/batch, /v1/verify, /v1/verify/batch,
+// /v1/keygen and GET /v1/keys, /v1/stats.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"herosign"
 	"herosign/service"
+	"herosign/service/remote"
 )
 
 func main() {
@@ -52,14 +75,17 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "size-triggered flush threshold (0 = engine SubBatch)")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "coalescing flush deadline")
 	keyFile := flag.String("key", "", "hex-encoded private key file (default: generate)")
+	remotes := flag.String("remote", "", "comma-separated leaf herosign-serve URLs to proxy as backends")
+	hedgeP := flag.Int("hedge-p", 0, "hedge remote batches past this percentile of recent latencies (0 = no hedging)")
+	replicaOf := flag.String("replica-of", "", "peer URL whose /v1/keys catalog this server must match")
 	flag.Parse()
 
 	p, err := herosign.ParamsByName(*paramsName)
 	if err != nil {
 		fatal(err)
 	}
-	if *gpus == "" && *cpuref == 0 {
-		fatal(fmt.Errorf("no backends configured: set -gpus and/or -cpuref"))
+	if *gpus == "" && *cpuref == 0 && *remotes == "" {
+		fatal(fmt.Errorf("no backends configured: set -gpus, -cpuref and/or -remote"))
 	}
 	policy, err := service.ShedPolicyByName(*shed)
 	if err != nil {
@@ -93,6 +119,18 @@ func main() {
 	if *cpuref != 0 {
 		opts = append(opts, herosign.WithBackend(herosign.NewCPURefBackend(*cpuref)))
 	}
+	if *remotes != "" {
+		if *keyFile == "" {
+			fatal(fmt.Errorf("-remote requires -key: the leaves must be started with the same key file so the derived key domains line up"))
+		}
+		fleet, err := remote.NewFleet(strings.Split(*remotes, ","), remote.Options{
+			HedgePercentile: *hedgeP,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, herosign.WithBackend(fleet.Backends()...))
+	}
 
 	if *keyFile != "" {
 		raw, err := os.ReadFile(*keyFile)
@@ -115,6 +153,13 @@ func main() {
 		fatal(err)
 	}
 
+	if *replicaOf != "" {
+		if err := checkReplicaOf(*replicaOf, svc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replica check: key catalog matches %s\n", *replicaOf)
+	}
+
 	fmt.Printf("herosign-serve: params=%s addr=%s shards=%d shed=%s queue-limit=%d/%d\n",
 		p.Name, *addr, *shards, policy, *queueLimit, *globalLimit)
 	for _, sh := range svc.Shards() {
@@ -125,7 +170,7 @@ func main() {
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		<-ctx.Done()
 		fmt.Println("shutting down: draining coalescers and backend pools")
@@ -137,6 +182,53 @@ func main() {
 		fatal(err)
 	}
 	_ = svc.Close()
+	fmt.Println("drained; bye")
+}
+
+// checkReplicaOf compares this server's key catalog to a peer's: same
+// parameter set, and every local shard key present in the peer with a
+// byte-identical public key. Two servers passing the check against each
+// other are safe hedge/failover targets for the same key domains.
+func checkReplicaOf(peer string, svc *herosign.Service) error {
+	peer = strings.TrimRight(strings.TrimSpace(peer), "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(peer + "/v1/keys")
+	if err != nil {
+		return fmt.Errorf("replica check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica check: %s/v1/keys returned %d", peer, resp.StatusCode)
+	}
+	var catalog struct {
+		Params string `json:"params"`
+		Keys   []struct {
+			KeyID     string `json:"key_id"`
+			PublicKey []byte `json:"public_key"`
+		} `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
+		return fmt.Errorf("replica check: decode %s/v1/keys: %w", peer, err)
+	}
+	byID := make(map[string][]byte, len(catalog.Keys))
+	for _, k := range catalog.Keys {
+		byID[k.KeyID] = k.PublicKey
+	}
+	for _, sh := range svc.Shards() {
+		if sh.PublicKey.Params.Name != catalog.Params {
+			return fmt.Errorf("replica check: peer %s serves %s, this server %s",
+				peer, catalog.Params, sh.PublicKey.Params.Name)
+		}
+		pub, ok := byID[sh.KeyID]
+		if !ok {
+			return fmt.Errorf("replica check: peer %s does not serve key domain %s — were both started from the same -key file and -shards count?",
+				peer, sh.KeyID)
+		}
+		if !bytes.Equal(pub, sh.PublicKey.Bytes()) {
+			return fmt.Errorf("replica check: peer %s key %s has a different public key", peer, sh.KeyID)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

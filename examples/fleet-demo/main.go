@@ -1,0 +1,294 @@
+// Fleet demo: a two-level fleet-of-fleets losing a leaf mid-run.
+//
+// Three in-process "leaf" herosign-serve instances (each a complete signing
+// service with its own simulated-GPU fleet and HTTP front end) sit behind
+// one front-end service whose only backends are remote proxies
+// (herosign/service/remote). All four share one master key, so the derived
+// key domains line up and any leaf can serve any batch.
+//
+// The demo drives a closed-loop workload through the front end and:
+//
+//  1. measures steady-state goodput and p99 latency on the full 3-leaf
+//     fleet;
+//  2. kills one leaf mid-run (its HTTP listener closes; in-flight and new
+//     connections fail) and asserts the health checker ejects it within
+//     one probe interval plus slack — while the failover path reroutes
+//     every affected batch, so the client sees no hard errors, only
+//     (possibly) 429s from admission control;
+//  3. asserts goodput with the surviving leaves recovers to >= 60% of the
+//     3-leaf rate and p99 stays bounded;
+//  4. asserts hedged retries stayed within their budget (<= 10% of primary
+//     sends);
+//  5. byte-compares a signature served through the proxy path against the
+//     CPU reference — the KAT cross-check that remoting changes nothing
+//     about the bytes.
+//
+// Exit status 0 means every assertion held.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"herosign"
+	"herosign/service"
+	"herosign/service/remote"
+)
+
+func main() {
+	workers := flag.Int("workers", 16, "closed-loop client goroutines")
+	phase1 := flag.Duration("phase1", 5*time.Second, "steady-state window before the kill")
+	phase2 := flag.Duration("phase2", 8*time.Second, "window after the kill")
+	probe := flag.Duration("probe", 200*time.Millisecond, "fleet health-probe interval")
+	hedgeP := flag.Int("hedge-p", 90, "hedge percentile (0 disables hedging)")
+	flag.Parse()
+
+	p := herosign.SPHINCSPlus128f
+	sk, err := herosign.KeyFromSeeds(p,
+		bytes.Repeat([]byte{0x51}, p.N),
+		bytes.Repeat([]byte{0x52}, p.N),
+		bytes.Repeat([]byte{0x53}, p.N))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three leaves: complete signing services behind real HTTP listeners,
+	// all started from the same master key.
+	fmt.Println("starting 3 leaf servers...")
+	leafSrvs := make([]*httptest.Server, 3)
+	leafURLs := make([]string, 3)
+	for i := range leafSrvs {
+		dev, err := herosign.GPUByName("RTX 4090")
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaf, err := herosign.NewService(
+			herosign.WithServiceParams(p),
+			herosign.WithServiceKey(sk),
+			herosign.WithServiceDevices(dev),
+			herosign.WithQueueLimit(herosign.AutoQueueLimit),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer leaf.Close()
+		leafSrvs[i] = httptest.NewServer(leaf.Handler())
+		leafURLs[i] = leafSrvs[i].URL
+		fmt.Printf("  leaf %d at %s\n", i, leafURLs[i])
+	}
+
+	fleet, err := remote.NewFleet(leafURLs, remote.Options{
+		ProbeInterval:   *probe,
+		HedgePercentile: *hedgeP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front, err := herosign.NewService(
+		herosign.WithServiceParams(p),
+		herosign.WithServiceKey(sk),
+		herosign.WithBackend(fleet.Backends()...),
+		herosign.WithQueueLimit(herosign.AutoQueueLimit),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	fmt.Printf("front end up: 1 shard, %d remote backends, probe=%v hedge-p%d\n\n",
+		len(leafURLs), *probe, *hedgeP)
+
+	// Closed-loop workload. Workers retry 429s after the server's own
+	// estimate; anything else is a hard client-visible error and fails the
+	// demo.
+	type sample struct {
+		at  time.Time
+		lat time.Duration
+	}
+	var (
+		mu         sync.Mutex
+		samples    []sample
+		hardErrors atomic.Int64
+		overloads  atomic.Int64
+		seq        atomic.Int64
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				msg := fmt.Sprintf("fleet-demo-%d", seq.Add(1))
+				t0 := time.Now()
+				fut, err := front.SubmitSign([]byte(msg))
+				if err == nil {
+					_, err = fut.Wait(ctx)
+				}
+				switch {
+				case err == nil:
+					mu.Lock()
+					samples = append(samples, sample{at: time.Now(), lat: time.Since(t0)})
+					mu.Unlock()
+				case ctx.Err() != nil:
+					return
+				case isOverload(err):
+					overloads.Add(1)
+					time.Sleep(retryAfter(err))
+				default:
+					hardErrors.Add(1)
+					fmt.Fprintf(os.Stderr, "hard error: %v\n", err)
+				}
+			}
+		}()
+	}
+
+	window := func(from, to time.Time) (rate float64, p99 time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		var lats []time.Duration
+		for _, s := range samples {
+			if s.at.After(from) && !s.at.After(to) {
+				lats = append(lats, s.lat)
+			}
+		}
+		if len(lats) == 0 {
+			return 0, 0
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		secs := to.Sub(from).Seconds()
+		return float64(len(lats)) / secs, lats[len(lats)*99/100]
+	}
+
+	// Phase 1: steady state on three leaves. The first second warms the
+	// coalescer, the probe EWMAs and the hedge tracker.
+	time.Sleep(time.Second)
+	p1start := time.Now()
+	time.Sleep(*phase1)
+	p1end := time.Now()
+	rate3, p99three := window(p1start, p1end)
+	fmt.Printf("phase 1 (3 leaves): %.1f sigs/s, p99 %v\n", rate3, p99three.Round(time.Millisecond))
+	if rate3 == 0 {
+		die("no completions in phase 1")
+	}
+
+	// Phase 2: kill leaf 0 mid-run.
+	killAt := time.Now()
+	leafSrvs[0].CloseClientConnections()
+	leafSrvs[0].Close()
+	fmt.Printf("\nkilled leaf 0 at t=%v\n", killAt.Round(time.Millisecond).Sub(p1start))
+
+	ejectedAt := waitForEjection(front, leafURLs[0], killAt, 2**probe+2*time.Second)
+	if ejectedAt.IsZero() {
+		die("leaf 0 was not ejected after the kill")
+	}
+	fmt.Printf("leaf 0 ejected %v after the kill (probe interval %v)\n",
+		ejectedAt.Sub(killAt).Round(time.Millisecond), *probe)
+
+	// Give the fleet a moment to settle, then measure the survivors.
+	time.Sleep(time.Second)
+	p2start := time.Now()
+	time.Sleep(*phase2)
+	p2end := time.Now()
+	cancel()
+	wg.Wait()
+
+	rate2, p99two := window(p2start, p2end)
+	fmt.Printf("phase 2 (2 leaves): %.1f sigs/s, p99 %v\n", rate2, p99two.Round(time.Millisecond))
+
+	// Assertions.
+	fails := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			fails++
+		}
+		fmt.Printf("  [%s] %s\n", status, fmt.Sprintf(format, args...))
+	}
+	fmt.Println("\nassertions:")
+	check(hardErrors.Load() == 0,
+		"no hard client errors across the kill (got %d; 429s are fine: %d)",
+		hardErrors.Load(), overloads.Load())
+	check(ejectedAt.Sub(killAt) <= 2**probe+time.Second,
+		"ejection within ~one probe interval: %v <= %v",
+		ejectedAt.Sub(killAt).Round(time.Millisecond), 2**probe+time.Second)
+	check(rate2 >= 0.6*rate3,
+		"2-leaf goodput %.1f >= 60%% of 3-leaf %.1f", rate2, 0.6*rate3)
+	check(p99two <= 10*p99three || p99two <= 2*time.Second,
+		"p99 stays bounded after the kill: %v (3-leaf %v)",
+		p99two.Round(time.Millisecond), p99three.Round(time.Millisecond))
+
+	var primaries, hedges, hedgeWins, failovers int64
+	for _, rl := range front.Stats().RemoteLeaves {
+		primaries += rl.PrimarySends
+		hedges += rl.HedgesSent
+		hedgeWins += rl.HedgeWins
+		failovers += rl.Failovers
+		fmt.Printf("  leaf %s: state=%s weight=%.0f sends=%d hedges=%d wins=%d failovers=%d\n",
+			rl.URL, rl.State, rl.WeightSigsPerSec, rl.PrimarySends, rl.HedgesSent, rl.HedgeWins, rl.Failovers)
+	}
+	check(primaries == 0 || float64(hedges) <= 0.10*float64(primaries)+1,
+		"hedge volume %d <= 10%% of %d primary sends", hedges, primaries)
+	fmt.Printf("  hedge wins: %d, failovers: %d\n", hedgeWins, failovers)
+
+	// KAT cross-check: one more signature through the proxy path must be
+	// byte-identical to the CPU reference.
+	fut, err := front.SubmitSign([]byte("kat-after-failover"))
+	if err != nil {
+		die("post-run sign: %v", err)
+	}
+	res, err := fut.Wait(context.Background())
+	if err != nil {
+		die("post-run sign: %v", err)
+	}
+	ref, err := herosign.Sign(sk, []byte("kat-after-failover"))
+	if err != nil {
+		die("reference sign: %v", err)
+	}
+	check(bytes.Equal(res.Sig, ref), "proxied signature byte-identical to CPU reference")
+
+	if fails > 0 {
+		die("%d assertion(s) failed", fails)
+	}
+	fmt.Println("\nfleet-demo: all assertions passed")
+}
+
+// waitForEjection polls the front end's stats until the named leaf reports
+// ejected, or the timeout lapses (zero time).
+func waitForEjection(front *herosign.Service, url string, from time.Time, timeout time.Duration) time.Time {
+	deadline := from.Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, rl := range front.Stats().RemoteLeaves {
+			if rl.URL == url && rl.State == "ejected" {
+				return time.Now()
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return time.Time{}
+}
+
+func isOverload(err error) bool {
+	return err != nil && service.IsOverloaded(err)
+}
+
+func retryAfter(err error) time.Duration {
+	if d := service.RetryAfter(err); d > 0 {
+		return d
+	}
+	return 50 * time.Millisecond
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleet-demo: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

@@ -47,6 +47,12 @@
 //	ok, err := svc.Verify(ctx, msg, sig)      // ok == true
 //	http.ListenAndServe(":8080", svc.Handler())
 //
+// Fleets compose across machines: package herosign/service/remote wraps a
+// whole remote herosign-serve instance as a Backend (health-weighted
+// routing, outlier ejection, hedged retries), so a front-end service can
+// proxy batches to leaf nodes over HTTP — see README "Multi-host
+// deployment".
+//
 // Per-backend throughput and dispatch weights, the batch-size histogram,
 // per-shard queue depths and shed/rejected counters are available from
 // Service.Stats (and /v1/stats). See cmd/herosign-serve for a ready-made
@@ -239,8 +245,9 @@ type Service = service.Service
 type ServiceOption = service.Option
 
 // Backend is one executor in the service fleet: a simulated GPU device, the
-// real-CPU lane engine, or a custom implementation (a future real-CUDA or
-// remote worker registers here instead of rewriting the scheduler).
+// real-CPU lane engine, or a whole remote herosign-serve instance (package
+// herosign/service/remote); a real-CUDA worker registers here instead of
+// rewriting the scheduler.
 type Backend = service.Backend
 
 // ShedPolicy selects what an over-limit shard does with overflow load.

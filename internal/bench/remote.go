@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"herosign/internal/spx/params"
+	"herosign/service"
+	"herosign/service/remote"
+)
+
+// RemoteFleet measures the distributed fleet-of-fleets path (package
+// service/remote): a front end whose backends proxy sign batches over HTTP
+// to two in-process leaf servers. Scenarios cover 1x and 2x client
+// concurrency, hedged retries on/off, and a degraded leaf that hiccups —
+// a large injected latency on a minority of its sign batches, the
+// GC-pause/contention-spike shape hedging exists for. (A *uniformly* slow
+// replica is the health checker's job, not the hedger's: the 10% hedge
+// budget cannot cover 50% slow sends.) Every number is wall-clock on the
+// build machine; the interesting comparison is the last two rows' p99,
+// with the Hedges column showing the budget the cut cost.
+func (s *Suite) RemoteFleet() (*Table, error) {
+	const (
+		baseWorkers = 4
+		warmFor     = 2 * time.Second
+		runFor      = 6 * time.Second
+		hiccupMs    = 500
+		// The hiccup rate must sit under the 10% hedge budget: above it the
+		// budget (correctly) starves some hiccups of their hedge and the
+		// unhedged ones own the p99 anyway.
+		hiccupEvery = 12
+	)
+	t := &Table{
+		ID:    "remote",
+		Title: "Remote fleet-of-fleets: goodput and tail vs load, hedging, degraded leaf (wall-clock)",
+		Header: []string{"Scenario", "OK", "429", "Goodput sig/s",
+			"p50 ms", "p99 ms", "Hedges", "Wins"},
+		Notes: []string{
+			fmt.Sprintf("two leaf servers on %s behind HTTP; front end proxies via service/remote", s.Dev.Name),
+			fmt.Sprintf("degraded = one leaf hiccups +%dms on every %dth sign batch; hedge = p90 of recent completions, budget 10%%", hiccupMs, hiccupEvery),
+			"a hedged hiccup completes at ~p90 + one clean leaf round-trip; unhedged it rides out the full hiccup",
+		},
+	}
+
+	p := params.SPHINCSPlus128f
+	key := s.key(p)
+
+	// Two persistent leaves; scenario code flips the injected hiccup.
+	type leafProc struct {
+		svc     *service.Service
+		srv     *httptest.Server
+		delayMs atomic.Int64
+		batches atomic.Int64
+	}
+	leaves := make([]*leafProc, 2)
+	for i := range leaves {
+		svc, err := service.New(
+			service.WithParams(p),
+			service.WithKey(key),
+			service.WithDevices(s.Dev),
+			service.WithQueueLimit(service.AutoQueueLimit),
+		)
+		if err != nil {
+			return nil, err
+		}
+		lp := &leafProc{svc: svc}
+		h := svc.Handler()
+		lp.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sign/batch" {
+				if d := lp.delayMs.Load(); d > 0 && lp.batches.Add(1)%hiccupEvery == 0 {
+					time.Sleep(time.Duration(d) * time.Millisecond)
+				}
+			}
+			h.ServeHTTP(w, r)
+		}))
+		leaves[i] = lp
+		defer lp.srv.Close()
+		defer lp.svc.Close()
+	}
+	urls := []string{leaves[0].srv.URL, leaves[1].srv.URL}
+
+	scenarios := []struct {
+		name    string
+		workers int
+		hedgeP  int
+		degrade bool
+	}{
+		{"1x load", baseWorkers, 0, false},
+		{"2x load", 2 * baseWorkers, 0, false},
+		{"1x + hedge-p90", baseWorkers, 90, false},
+		{"1x, leaf degraded", baseWorkers, 0, true},
+		{"1x, degraded + hedge-p90", baseWorkers, 90, true},
+	}
+	for _, sc := range scenarios {
+		if sc.degrade {
+			leaves[0].delayMs.Store(hiccupMs)
+		} else {
+			leaves[0].delayMs.Store(0)
+		}
+
+		fleet, err := remote.NewFleet(urls, remote.Options{
+			HedgePercentile: sc.hedgeP,
+			ProbeInterval:   200 * time.Millisecond,
+			// The degraded leaf must stay in rotation — this experiment
+			// measures hedging around a slow replica, not ejection of it.
+			LatencyZLimit: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		front, err := service.New(
+			service.WithParams(p),
+			service.WithKey(key),
+			service.WithBackends(fleet.Backends()...),
+			service.WithQueueLimit(service.AutoQueueLimit),
+		)
+		if err != nil {
+			return nil, err
+		}
+
+		var (
+			mu        sync.Mutex
+			lats      []time.Duration
+			overloads int64
+		)
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		var seq atomic.Int64
+		// Warm the coalescer, the leaf signers and the hedge tracker before
+		// the measured window opens.
+		warmed := make(chan struct{})
+		time.AfterFunc(warmFor, func() { close(warmed) })
+		for w := 0; w < sc.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					msg := fmt.Sprintf("remote-bench-%d", seq.Add(1))
+					t0 := time.Now()
+					fut, err := front.SubmitSign([]byte(msg))
+					if err == nil {
+						_, err = fut.Wait(ctx)
+					}
+					switch {
+					case ctx.Err() != nil:
+						return
+					case err == nil:
+						select {
+						case <-warmed:
+							mu.Lock()
+							lats = append(lats, time.Since(t0))
+							mu.Unlock()
+						default:
+						}
+					case service.IsOverloaded(err):
+						atomic.AddInt64(&overloads, 1)
+						time.Sleep(service.RetryAfter(err))
+					default:
+						// Hard errors abort the experiment below.
+						mu.Lock()
+						lats = nil
+						mu.Unlock()
+						cancel()
+						return
+					}
+				}
+			}()
+		}
+		<-warmed
+		windowStart := time.Now()
+		time.Sleep(runFor)
+		cancel()
+		wg.Wait()
+		wall := time.Since(windowStart)
+
+		if len(lats) == 0 {
+			front.Close()
+			return nil, fmt.Errorf("bench remote: scenario %q produced no successful signs", sc.name)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50 := float64(lats[len(lats)/2].Microseconds()) / 1e3
+		p99 := float64(lats[len(lats)*99/100].Microseconds()) / 1e3
+		var hedges, wins int64
+		for _, rl := range front.Stats().RemoteLeaves {
+			hedges += rl.HedgesSent
+			wins += rl.HedgeWins
+		}
+		front.Close()
+
+		t.Rows = append(t.Rows, []string{
+			sc.name, d0(int64(len(lats))), d0(atomic.LoadInt64(&overloads)),
+			f1(float64(len(lats)) / wall.Seconds()), f1(p50), f1(p99),
+			d0(hedges), d0(wins),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,161 @@
+// fleet-smoke-client drives the two-process fleet smoke test
+// (scripts/fleet_smoke.sh): it fires -n sign requests at a front-end
+// herosign-serve, retries 429s after the server's own estimate, verifies
+// every signature against the public key advertised by /v1/keys, and exits
+// non-zero on any hard failure or verification mismatch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"herosign"
+)
+
+type signRequest struct {
+	Message []byte `json:"message"`
+}
+
+type signResponse struct {
+	Signature []byte `json:"signature"`
+	KeyID     string `json:"key_id"`
+}
+
+type errorResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:18080", "front-end base URL")
+	n := flag.Int("n", 200, "sign requests to issue")
+	workers := flag.Int("workers", 8, "concurrent clients")
+	paramsName := flag.String("params", "128f", "SPHINCS+ parameter set")
+	flag.Parse()
+
+	p, err := herosign.ParamsByName(*paramsName)
+	if err != nil {
+		die("%v", err)
+	}
+
+	// Fetch the key catalog; signatures verify against the key domain each
+	// response names.
+	var catalog struct {
+		Keys []struct {
+			KeyID     string `json:"key_id"`
+			PublicKey []byte `json:"public_key"`
+		} `json:"keys"`
+	}
+	if err := getJSON(*url+"/v1/keys", &catalog); err != nil {
+		die("fetch key catalog: %v", err)
+	}
+	pks := make(map[string]*herosign.PublicKey, len(catalog.Keys))
+	for _, k := range catalog.Keys {
+		pk, err := herosign.ParsePublicKey(p, k.PublicKey)
+		if err != nil {
+			die("catalog key %s: %v", k.KeyID, err)
+		}
+		pks[k.KeyID] = pk
+	}
+
+	var (
+		ok       atomic.Int64
+		retried  atomic.Int64
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				msg := fmt.Appendf(nil, "fleet-smoke-%d", i)
+				if err := signOnce(*url, msg, pks, &retried); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "sign %d: %v\n", i, err)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	fmt.Printf("fleet-smoke-client: %d/%d signed and verified in %v (%d 429 retries, %d failures)\n",
+		ok.Load(), *n, time.Since(start).Round(time.Millisecond), retried.Load(), failures.Load())
+	if failures.Load() > 0 || ok.Load() != int64(*n) {
+		os.Exit(1)
+	}
+}
+
+// signOnce signs one message, retrying 429s (bounded) and verifying the
+// result against the catalog key for the responding domain.
+func signOnce(base string, msg []byte, pks map[string]*herosign.PublicKey, retried *atomic.Int64) error {
+	body, _ := json.Marshal(signRequest{Message: msg})
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := http.Post(base+"/v1/sign", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			var er errorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&er)
+			resp.Body.Close()
+			retried.Add(1)
+			backoff := time.Duration(er.RetryAfterMs) * time.Millisecond
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		var sr signResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if err != nil {
+			return fmt.Errorf("decode response: %w", err)
+		}
+		pk, ok := pks[sr.KeyID]
+		if !ok {
+			return fmt.Errorf("response names unknown key domain %q", sr.KeyID)
+		}
+		if err := herosign.Verify(pk, msg, sr.Signature); err != nil {
+			return fmt.Errorf("signature does not verify: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("still overloaded after 50 retries")
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleet-smoke-client: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

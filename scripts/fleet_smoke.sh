@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Two-process fleet smoke test: a leaf herosign-serve and a remote-only
+# front end proxying to it over real TCP. Drives 200 signs through the
+# front, verifies every signature, and checks both processes drain cleanly
+# on SIGTERM. Exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LEAF_PORT="${LEAF_PORT:-18081}"
+FRONT_PORT="${FRONT_PORT:-18080}"
+N="${N:-200}"
+
+workdir="$(mktemp -d)"
+leaf_pid=""
+front_pid=""
+cleanup() {
+    [ -n "$front_pid" ] && kill "$front_pid" 2>/dev/null || true
+    [ -n "$leaf_pid" ] && kill "$leaf_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$workdir/herosign" ./cmd/herosign
+go build -o "$workdir/herosign-serve" ./cmd/herosign-serve
+go build -o "$workdir/smoke-client" ./scripts/fleet-smoke-client
+
+echo "== shared master key =="
+"$workdir/herosign" keygen -set 128f -out "$workdir/key.hex"
+
+wait_ready() {
+    local url="$1" name="$2"
+    for _ in $(seq 1 100); do
+        if curl -sf "$url/v1/stats" >/dev/null 2>&1; then
+            echo "$name ready at $url"
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "$name did not become ready at $url" >&2
+    return 1
+}
+
+echo "== leaf on :$LEAF_PORT =="
+"$workdir/herosign-serve" -addr "127.0.0.1:$LEAF_PORT" \
+    -key "$workdir/key.hex" -queue-limit -1 &
+leaf_pid=$!
+wait_ready "http://127.0.0.1:$LEAF_PORT" leaf
+
+echo "== remote-only front on :$FRONT_PORT =="
+"$workdir/herosign-serve" -addr "127.0.0.1:$FRONT_PORT" \
+    -gpus "" -remote "http://127.0.0.1:$LEAF_PORT" -hedge-p 95 \
+    -key "$workdir/key.hex" -queue-limit -1 \
+    -replica-of "http://127.0.0.1:$LEAF_PORT" &
+front_pid=$!
+wait_ready "http://127.0.0.1:$FRONT_PORT" front
+
+echo "== $N signs through the front =="
+"$workdir/smoke-client" -url "http://127.0.0.1:$FRONT_PORT" -n "$N"
+
+echo "== front-end stats =="
+curl -sf "http://127.0.0.1:$FRONT_PORT/v1/stats" | tr ',' '\n' | grep -E '"(state|url|primary_sends|total_messages)"' || true
+
+echo "== graceful drain (SIGTERM) =="
+kill -TERM "$front_pid"
+if ! wait "$front_pid"; then
+    echo "front exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+front_pid=""
+kill -TERM "$leaf_pid"
+if ! wait "$leaf_pid"; then
+    echo "leaf exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+leaf_pid=""
+
+echo "fleet smoke: OK"

@@ -29,6 +29,21 @@ func (e *OverloadError) Error() string {
 
 func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
+// IsOverloaded reports whether err is (or wraps) an admission rejection —
+// from this service's own gates or, for remote-backed fleets, a leaf's.
+func IsOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// RetryAfter extracts the drain-time estimate from an overload error, or
+// zero when err carries none. Clients should back off at least this long
+// before resubmitting.
+func RetryAfter(err error) time.Duration {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
+
 // ShedPolicy selects what an over-limit shard does with the overflow.
 type ShedPolicy int
 
@@ -68,6 +83,22 @@ func ShedPolicyByName(name string) (ShedPolicy, error) {
 // AutoQueueLimit, passed to WithQueueLimit or WithGlobalQueueLimit, derives
 // the cap from the backends' Capacity hints instead of a fixed count.
 const AutoQueueLimit = -1
+
+// minAutoQueueLimit floors the derived cap: a backend advertising a zero
+// (or tiny) Capacity hint must not silently disable admission control —
+// auto mode always yields a bounded, non-zero gate.
+const minAutoQueueLimit = 16
+
+// autoLimit converts an aggregate Capacity hint into an admission cap:
+// twice the capacity (one batch executing, one queued behind it), floored
+// at minAutoQueueLimit.
+func autoLimit(capacity int) int64 {
+	l := int64(2 * capacity)
+	if l < minAutoQueueLimit {
+		l = minAutoQueueLimit
+	}
+	return l
+}
 
 // gate is a bounded admission counter: n admitted-but-unresolved messages
 // against a fixed limit (0 = unbounded).

@@ -70,6 +70,20 @@ type BatchHinter interface {
 	PreferredBatch() int
 }
 
+// Availabler is an optional Backend refinement for executors that can go
+// away at runtime (a remote leaf that failed its health checks, say). The
+// router's dispatch skips pools whose backend reports false; when every
+// pool in a shard is unavailable, dispatch falls back to the least-loaded
+// one so batches still resolve (with the backend's error) instead of
+// hanging. Backends without the method are always available.
+type Availabler interface {
+	Available() bool
+}
+
+// Backends may additionally implement io.Closer; the router closes them
+// after their pools drain, so a backend owning sockets or background
+// goroutines (remote health probes) can release them on Service.Close.
+
 // weightMeter tracks a backend's sigs/s estimate: seeded by calibration in
 // Warm, refined by an EWMA over observed sign batches.
 type weightMeter struct {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"herosign/internal/core"
 )
 
 // MaxBodyBytes caps request bodies on the HTTP front end; larger bodies get
@@ -50,8 +52,30 @@ type verifyResponse struct {
 	Device string `json:"device"`
 }
 
+type verifyBatchRequest struct {
+	Messages   [][]byte `json:"messages"`
+	Signatures [][]byte `json:"signatures"` // parallel to Messages
+	KeyID      string   `json:"key_id,omitempty"`
+}
+
+type verifyBatchResponse struct {
+	KeyID string `json:"key_id"`
+	Valid []bool `json:"valid"` // parallel to the request pairs
+}
+
+// seedTriple is the wire form of core.SeedTriple for deterministic remote
+// key generation; each component is Params.N bytes.
+type seedTriple struct {
+	SKSeed []byte `json:"sk_seed"`
+	SKPRF  []byte `json:"sk_prf"`
+	PKSeed []byte `json:"pk_seed"`
+}
+
 type keygenRequest struct {
 	Count int `json:"count"` // default 1, capped at 256 per call
+	// Seeds, when present, derives one key per triple instead of Count
+	// random keys — the deterministic path remote front ends proxy through.
+	Seeds []seedTriple `json:"seeds,omitempty"`
 }
 
 type keygenKey struct {
@@ -87,7 +111,8 @@ type errorResponse struct {
 //	POST /v1/sign        {"message": b64, "key_id"?: id}  -> {"signature": b64, "key_id": id, ...}
 //	POST /v1/sign/batch  {"messages": [b64...], "key_id"?: id} -> {"signatures": [...], "key_id": id}
 //	POST /v1/verify      {"message": b64, "signature": b64, "key_id"?: id} -> {"valid": bool, ...}
-//	POST /v1/keygen      {"count": n}                     -> {"keys": [{"public_key", "private_key"}]}
+//	POST /v1/verify/batch {"messages": [...], "signatures": [...], "key_id"?: id} -> {"valid": [bool...]}
+//	POST /v1/keygen      {"count": n} or {"seeds": [{sk_seed,sk_prf,pk_seed}...]} -> {"keys": [...]}
 //	GET  /v1/keys                                         -> shard key catalog
 //	GET  /v1/stats                                        -> Stats
 //
@@ -100,6 +125,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sign", s.handleSign)
 	mux.HandleFunc("POST /v1/sign/batch", s.handleSignBatch)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
 	mux.HandleFunc("POST /v1/keygen", s.handleKeyGen)
 	mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -246,9 +272,65 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleVerifyBatch checks a set of (message, signature) pairs against one
+// key domain in a single round trip — the wire path remote front ends
+// proxy coalesced verify batches through. A pair whose signature has the
+// wrong length for the parameter set is reported invalid (not an error);
+// overload and shutdown map to the usual 429/503 for the whole batch.
+func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req verifyBatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Messages) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch: no messages"})
+		return
+	}
+	if len(req.Messages) != len(req.Signatures) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(
+			"messages and signatures must be parallel: %d vs %d", len(req.Messages), len(req.Signatures))})
+		return
+	}
+	if len(req.Messages) > 256 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch exceeds the 256-pair cap"})
+		return
+	}
+	keyID := req.KeyID
+	if keyID == "" && len(s.router.shards) == 1 {
+		keyID = s.router.shards[0].keyID
+	}
+	futs := make([]*Future, 0, len(req.Messages))
+	for i := range req.Messages {
+		fut, err := s.SubmitVerifyKey(keyID, req.Messages[i], req.Signatures[i])
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		futs = append(futs, fut)
+	}
+	resp := verifyBatchResponse{KeyID: keyID, Valid: make([]bool, 0, len(futs))}
+	for _, fut := range futs {
+		res, err := fut.Wait(r.Context())
+		switch {
+		case err == nil:
+			resp.Valid = append(resp.Valid, res.Valid)
+		case errors.Is(err, ErrSignatureLength):
+			resp.Valid = append(resp.Valid, false)
+		default:
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 	var req keygenRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Seeds) > 256 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seeds exceed the 256-key cap"})
 		return
 	}
 	if req.Count <= 0 {
@@ -258,14 +340,30 @@ func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "count exceeds the 256-key cap"})
 		return
 	}
-	futs := make([]*Future, 0, req.Count)
-	for i := 0; i < req.Count; i++ {
-		fut, err := s.SubmitKeyGen(nil)
-		if err != nil {
-			writeError(w, err)
-			return
+	var futs []*Future
+	if len(req.Seeds) > 0 {
+		// Deterministic path: one key per seed triple, Count ignored.
+		futs = make([]*Future, 0, len(req.Seeds))
+		for _, tr := range req.Seeds {
+			fut, err := s.SubmitKeyGen(&core.SeedTriple{
+				SKSeed: tr.SKSeed, SKPRF: tr.SKPRF, PKSeed: tr.PKSeed,
+			})
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			futs = append(futs, fut)
 		}
-		futs = append(futs, fut)
+	} else {
+		futs = make([]*Future, 0, req.Count)
+		for i := 0; i < req.Count; i++ {
+			fut, err := s.SubmitKeyGen(nil)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			futs = append(futs, fut)
+		}
 	}
 	resp := keygenResponse{Params: s.cfg.Params.Name}
 	for _, fut := range futs {

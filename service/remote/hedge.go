@@ -1,0 +1,86 @@
+package remote
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a ring of recent sign-batch completion latencies and
+// answers percentile queries — the adaptive hedge trigger: a batch still in
+// flight past pN of recent completions is worth re-issuing.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring []time.Duration
+	next int
+	n    int
+}
+
+func newLatencyTracker(size int) *latencyTracker {
+	if size < 16 {
+		size = 16
+	}
+	return &latencyTracker{ring: make([]time.Duration, size)}
+}
+
+func (t *latencyTracker) add(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.next] = d
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// percentile returns the p-th percentile of the recorded completions, or
+// ok=false while fewer than minSamples are recorded (hedging stays dormant
+// until the tracker has seen real traffic).
+func (t *latencyTracker) percentile(p, minSamples int) (time.Duration, bool) {
+	t.mu.Lock()
+	if t.n < minSamples {
+		t.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, t.n)
+	copy(buf, t.ring[:t.n])
+	t.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := len(buf) * p / 100
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	return buf[idx], true
+}
+
+// hedgeBudget caps hedge volume at frac of primary sends, fleet-wide, so
+// hedging trims the tail without doubling load. Primary sends are recorded
+// unconditionally; a hedge is only granted while hedges < primaries*frac —
+// a strict cap, so hedge volume can never exceed the configured fraction
+// (hedging therefore stays dormant for the first 1/frac primaries).
+type hedgeBudget struct {
+	frac      float64
+	mu        sync.Mutex
+	primaries int64
+	hedges    int64
+	denied    int64
+}
+
+func (b *hedgeBudget) recordPrimary() {
+	b.mu.Lock()
+	b.primaries++
+	b.mu.Unlock()
+}
+
+// tryAcquire grants one hedge if the budget allows.
+func (b *hedgeBudget) tryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	allowed := int64(float64(b.primaries) * b.frac)
+	if b.hedges >= allowed {
+		b.denied++
+		return false
+	}
+	b.hedges++
+	return true
+}

@@ -1,0 +1,227 @@
+// Package remote turns a herosign-serve instance into a service.Backend:
+// RunBatch proxies flushed batches over HTTP to a leaf server's
+// /v1/sign/batch (plus /v1/verify/batch and /v1/keygen), so a front-end
+// shard router fans out across a fleet of leaf servers, each of which is
+// itself a sharded fleet — a two-level fleet-of-fleets.
+//
+// A Fleet wraps one group of leaf URLs and gives each leaf:
+//
+//   - a health checker that probes the leaf's /v1/stats and feeds the
+//     router's dispatch weight with an EWMA of *observed* sigs/s between
+//     probes (not a static capacity hint);
+//   - outlier ejection — a leaf whose probes fail, whose request error
+//     rate degrades, or whose latency z-scores away from its siblings is
+//     quarantined (the router stops dispatching to it) and probed back in
+//     with half-open trials under exponential-backoff quarantine;
+//   - hedged retries — when a sign batch's in-flight time exceeds an
+//     adaptive percentile of recent completions, the batch is re-issued to
+//     a sibling replica of the same key domain and the first success wins,
+//     with a budget cap so hedging cannot double fleet load;
+//   - failover — hard transport errors (connection refused, 5xx) retry on
+//     a sibling immediately without spending hedge budget, so a dying leaf
+//     causes rerouting, not client-visible errors;
+//   - connection pooling, per-attempt timeouts, and clean shutdown: the
+//     router closes each Backend after its pool drains, and the last close
+//     stops the probe loop and releases idle connections.
+//
+// Leaves must serve the same key domains as the front end: start every
+// leaf with the front end's master key (and shard layout) so the
+// deterministic per-shard key derivation lines up; Warm verifies the
+// leaf's /v1/keys catalog actually contains the shard key and fails fast
+// otherwise. Signatures proxied through a Fleet are byte-identical to
+// local signing — the wire format carries opaque batches, never key
+// material for signing.
+package remote
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"herosign/service"
+)
+
+// Options tunes a Fleet. The zero value selects the documented defaults.
+type Options struct {
+	// HedgePercentile arms hedged retries: a sign batch still in flight
+	// past this percentile of recent completion latencies is re-issued to
+	// a sibling leaf of the same key domain. 0 disables hedging; 95 hedges
+	// past p95. Values are clamped to [50, 99].
+	HedgePercentile int
+	// HedgeMaxFraction caps hedge volume as a fraction of primary sends
+	// (default 0.10), so hedging cannot double fleet load.
+	HedgeMaxFraction float64
+	// HedgeMinSamples is how many completions the latency tracker needs
+	// before hedging arms (default 8).
+	HedgeMinSamples int
+
+	// ProbeInterval is the health checker's period (default 500ms);
+	// ProbeTimeout bounds one /v1/stats probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// RequestTimeout bounds one proxied batch attempt (default 60s — leaf
+	// admission control, not the transport, is the backpressure mechanism).
+	RequestTimeout time.Duration
+	// MaxAttempts caps how many distinct leaves one batch may try across
+	// failover and hedging (default 3, clamped to the fleet size).
+	MaxAttempts int
+
+	// EjectProbeFailures is the consecutive failed probes that quarantine
+	// a leaf (default 1: an unreachable leaf is ejected within one probe
+	// interval). EjectRequestFailures is the consecutive hard request
+	// errors that do the same without waiting for a probe (default 2).
+	EjectProbeFailures    int
+	EjectRequestFailures  int
+	// ErrorRateLimit ejects a leaf whose windowed request error rate
+	// exceeds it (default 0.5, evaluated per probe tick over >= 8 sends).
+	ErrorRateLimit float64
+	// LatencyZLimit ejects a leaf whose smoothed batch latency z-scores
+	// this far above its siblings' (default 3; negative disables; needs
+	// >= 3 healthy leaves to be meaningful).
+	LatencyZLimit float64
+
+	// BaseQuarantine is the first ejection's quarantine (default 1s); each
+	// re-ejection doubles it up to MaxQuarantine (default 30s). After the
+	// quarantine a successful probe moves the leaf to half-open: one trial
+	// batch at a time, success restores it, failure re-ejects.
+	BaseQuarantine time.Duration
+	MaxQuarantine  time.Duration
+
+	// EWMAAlpha smooths the observed-sigs/s weight and latency estimates
+	// (default 0.3).
+	EWMAAlpha float64
+}
+
+func (o Options) withDefaults(leaves int) Options {
+	if o.HedgePercentile != 0 {
+		if o.HedgePercentile < 50 {
+			o.HedgePercentile = 50
+		}
+		if o.HedgePercentile > 99 {
+			o.HedgePercentile = 99
+		}
+	}
+	if o.HedgeMaxFraction <= 0 {
+		o.HedgeMaxFraction = 0.10
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 8
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.MaxAttempts > leaves {
+		o.MaxAttempts = leaves
+	}
+	if o.EjectProbeFailures <= 0 {
+		o.EjectProbeFailures = 1
+	}
+	if o.EjectRequestFailures <= 0 {
+		o.EjectRequestFailures = 2
+	}
+	if o.ErrorRateLimit <= 0 {
+		o.ErrorRateLimit = 0.5
+	}
+	if o.LatencyZLimit == 0 {
+		o.LatencyZLimit = 3
+	}
+	if o.BaseQuarantine <= 0 {
+		o.BaseQuarantine = time.Second
+	}
+	if o.MaxQuarantine <= 0 {
+		o.MaxQuarantine = 30 * time.Second
+	}
+	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
+		o.EWMAAlpha = 0.3
+	}
+	return o
+}
+
+// Fleet is one group of leaf servers behind a shared transport, health
+// checker, latency tracker and hedge budget. Backends hands out one
+// service.Backend per leaf; register them with herosign.WithBackend (or
+// service.WithBackends) on the front end.
+type Fleet struct {
+	opts    Options
+	tr      *transport
+	leaves  []*leaf
+	tracker *latencyTracker
+	budget  *hedgeBudget
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	refs     int
+	refMu    sync.Mutex
+}
+
+// NewFleet builds the fleet for the leaf URLs and starts its health-probe
+// loop. Each URL must be absolute (http://host:port); the leaves should be
+// reachable before the front-end Service is constructed, because Warm
+// fetches each leaf's key catalog to pin the shard key domain.
+func NewFleet(urls []string, opts Options) (*Fleet, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("remote: at least one leaf URL is required")
+	}
+	f := &Fleet{
+		opts:    opts.withDefaults(len(urls)),
+		tracker: newLatencyTracker(256),
+		stop:    make(chan struct{}),
+	}
+	f.budget = &hedgeBudget{frac: f.opts.HedgeMaxFraction}
+	f.tr = newTransport(f.opts)
+	for _, raw := range urls {
+		raw = strings.TrimSpace(raw)
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("remote: leaf URL %q must be absolute (http://host:port)", raw)
+		}
+		f.leaves = append(f.leaves, newLeaf(strings.TrimRight(raw, "/"), u.Host))
+	}
+	f.refs = len(f.leaves)
+	go f.probeLoop()
+	return f, nil
+}
+
+// Backends returns one service.Backend per leaf, in URL order. The router
+// closes each backend after its pool drains; the last close stops the
+// probe loop and releases pooled connections.
+func (f *Fleet) Backends() []service.Backend {
+	out := make([]service.Backend, len(f.leaves))
+	for i, l := range f.leaves {
+		out[i] = &Backend{f: f, leaf: l}
+	}
+	return out
+}
+
+// release drops one backend's reference; the last one shuts the fleet
+// down. Close is also safe to call directly on an unused fleet.
+func (f *Fleet) release() {
+	f.refMu.Lock()
+	f.refs--
+	done := f.refs <= 0
+	f.refMu.Unlock()
+	if done {
+		f.Close()
+	}
+}
+
+// Close stops the probe loop and closes idle connections. Idempotent.
+func (f *Fleet) Close() error {
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		f.tr.close()
+	})
+	return nil
+}

@@ -153,14 +153,14 @@ func newRouter(cfg routerConfig) (*router, error) {
 		}
 		switch {
 		case cfg.queueLimit == AutoQueueLimit:
-			sh.gate.limit = int64(2 * shardCap)
+			sh.gate.limit = autoLimit(shardCap)
 		case cfg.queueLimit > 0:
 			sh.gate.limit = int64(cfg.queueLimit)
 		}
 	}
 	switch {
 	case cfg.globalLimit == AutoQueueLimit:
-		rt.global.limit = int64(2 * totalCap)
+		rt.global.limit = autoLimit(totalCap)
 	case cfg.globalLimit > 0:
 		rt.global.limit = int64(cfg.globalLimit)
 	}
@@ -261,19 +261,34 @@ func loadScore(outstanding int64, weight float64) float64 {
 // dispatch hands a flushed batch to the shard's pool with the least
 // outstanding work relative to its backend's weight, so a backend modeled
 // at 10× the sigs/s absorbs 10× the queue before the dispatcher prefers a
-// slower sibling. It returns ErrClosed once the router is shutting down.
+// slower sibling. Pools whose backend reports itself unavailable (an
+// ejected remote leaf) are skipped; when the whole shard is unavailable the
+// least-loaded pool is used anyway so the batch resolves with the backend's
+// error instead of hanging. It returns ErrClosed once the router is
+// shutting down.
 func (rt *router) dispatch(sh *shard, j *batchJob) error {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 	if rt.closed {
 		return ErrClosed
 	}
-	best := sh.pools[0]
-	bestScore := loadScore(best.outstanding.Load(), best.backend.Weight())
-	for _, p := range sh.pools[1:] {
-		if s := loadScore(p.outstanding.Load(), p.backend.Weight()); s < bestScore {
-			best, bestScore = p, s
+	var best *pool
+	var bestScore float64
+	pick := func(requireAvailable bool) {
+		for _, p := range sh.pools {
+			if requireAvailable {
+				if av, ok := p.backend.(Availabler); ok && !av.Available() {
+					continue
+				}
+			}
+			if s := loadScore(p.outstanding.Load(), p.backend.Weight()); best == nil || s < bestScore {
+				best, bestScore = p, s
+			}
 		}
+	}
+	pick(true)
+	if best == nil {
+		pick(false)
 	}
 	best.outstanding.Add(int64(len(j.reqs)))
 	best.enqueue(j)
@@ -318,6 +333,15 @@ func (rt *router) close() {
 		<-done
 	}
 	rt.cancel()
+	// Pools are drained (or aborted); backends owning external resources —
+	// remote transports, health-probe goroutines — release them now. A
+	// backend shared by several pools closes once per pool; implementations
+	// must tolerate repeated Close (io.Closer's usual contract).
+	for _, p := range rt.pools {
+		if c, ok := p.backend.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+	}
 }
 
 // globalRetryAfter estimates the whole service's drain time: the global

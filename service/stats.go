@@ -54,6 +54,47 @@ type ShardStats struct {
 	WeightSigsPerSec float64 `json:"weight_sigs_per_sec"`
 }
 
+// RemoteLeafStats reports one remote leaf's health as seen by its
+// front-end backend: the health checker's state machine, the probe-fed
+// weight, and the hedging counters. Backends surface it by implementing
+// RemoteHealthReporter; /v1/stats lists one entry per remote-backed pool.
+type RemoteLeafStats struct {
+	URL   string `json:"url"`
+	KeyID string `json:"key_id,omitempty"` // key domain the leaf was warmed for
+	// State is "healthy", "ejected" or "half-open".
+	State string `json:"state"`
+	// WeightSigsPerSec is the dispatch weight the router sees (zero while
+	// ejected); EWMASigsPerSec is the underlying estimate from observed
+	// throughput between /v1/stats probes.
+	WeightSigsPerSec float64 `json:"weight_sigs_per_sec"`
+	EWMASigsPerSec   float64 `json:"ewma_sigs_per_sec"`
+	// LatencyEWMAMs is the smoothed per-batch request latency feeding the
+	// outlier z-score.
+	LatencyEWMAMs float64 `json:"latency_ewma_ms"`
+
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
+	Ejections     int64 `json:"ejections"`
+
+	// PrimarySends counts batches first issued to this leaf; HedgesSent
+	// counts hedge copies this leaf's slow batches spawned on siblings;
+	// HedgeWins counts hedges that finished first. Failovers are retries
+	// after a hard transport error (they do not spend hedge budget).
+	PrimarySends int64 `json:"primary_sends"`
+	HedgesSent   int64 `json:"hedges_sent"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	Failovers    int64 `json:"failovers"`
+	Errors       int64 `json:"errors"`
+	Overloads    int64 `json:"overloads"` // 429s the leaf returned
+}
+
+// RemoteHealthReporter is an optional Backend refinement: remote-leaf
+// backends expose their health/hedge telemetry through it and Stats
+// surfaces the snapshots under "remote_leaves".
+type RemoteHealthReporter interface {
+	RemoteHealth() RemoteLeafStats
+}
+
 // HistBucket is one batch-size histogram bucket; Le is the inclusive upper
 // bound ("+Inf" for the overflow bucket).
 type HistBucket struct {
@@ -100,6 +141,10 @@ type Stats struct {
 	BatchSizeHist []HistBucket   `json:"batch_size_hist"`
 	Devices       []BackendStats `json:"devices"` // historic field name
 	Shards        []ShardStats   `json:"shards"`
+
+	// RemoteLeaves lists per-leaf health for remote-backed pools (empty on
+	// an all-local fleet).
+	RemoteLeaves []RemoteLeafStats `json:"remote_leaves,omitempty"`
 }
 
 // Stats snapshots the coalescers, the admission gates and the pools.
@@ -154,6 +199,9 @@ func (s *Service) Stats() Stats {
 			signMsgs += ws.SignMsgs
 			for i, c := range ws.Hist {
 				hist[i] += c
+			}
+			if hr, ok := p.backend.(RemoteHealthReporter); ok {
+				st.RemoteLeaves = append(st.RemoteLeaves, hr.RemoteHealth())
 			}
 		}
 		st.Shards = append(st.Shards, ss)
