@@ -10,10 +10,11 @@ vet:
 
 # The default test path runs vet first, mirroring the tier-1 gate, then
 # race-checks the packages whose workers share the lane-batch buffers and
-# queues (service fleet, simulated GPU engine).
+# queues (service fleet, simulated GPU engine, cpuref pools and the shared
+# hypertree memo cache).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./service/... ./internal/gpu/...
+	$(GO) test -race ./service/... ./internal/gpu/... ./internal/cpuref/... ./internal/spx/treecache/... ./internal/spx/
 
 # bench regenerates the paper evaluation as machine-readable JSON so the
 # perf trajectory can be tracked across PRs (BENCH_*.json).
@@ -22,10 +23,10 @@ bench: build
 	@echo wrote BENCH_latest.json
 
 # bench-short is the CI smoke lane: a fast subset covering a modeled table,
-# the tuner, and the two wall-clock experiments (lane engine, admission
-# control under overload).
+# the tuner, and the wall-clock experiments (lane engine, admission control
+# under overload, hypertree memoization cold-vs-warm).
 bench-short: build
-	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload
+	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload,memo
 
 # bench-compare regenerates BENCH_latest.json and diffs it against the
 # newest committed dated snapshot.

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	herosign-serve [-addr :8080] [-params 128f] [-gpus "RTX 4090,RTX 4090"]
-//	               [-cpuref 0] [-shards 1] [-queue-limit 0] [-global-queue-limit 0]
+//	               [-cpuref 0] [-memo-mb 0] [-memo-warm]
+//	               [-shards 1] [-queue-limit 0] [-global-queue-limit 0]
 //	               [-shed reject-newest] [-drain 10s]
 //	               [-max-batch 64] [-deadline 2ms] [-key hexfile]
 //	               [-remote "http://leaf1:8080,http://leaf2:8080"] [-hedge-p 95]
@@ -14,7 +15,12 @@
 // The -gpus list creates one simulated-GPU backend per entry; repeating a
 // device adds a second worker that shares its cached, tuned signer.
 // -cpuref N adds a real-CPU lane-engine backend with N worker goroutines,
-// so one service mixes modeled-GPU and real-CPU execution. -shards splits
+// so one service mixes modeled-GPU and real-CPU execution. -memo-mb M
+// gives each cpuref backend a per-key hypertree memoization cache of M MiB
+// (upper XMSS subtrees pinned, lower ones LRU); with -memo-warm (the
+// default) the pinned layers are prebuilt during startup warm-up, so the
+// first request already signs from cache. Cache hit/miss/residency
+// counters appear under "memo" in /v1/stats. -shards splits
 // the fleet into that many key domains (each signing under its own derived
 // key; see GET /v1/keys). -queue-limit / -global-queue-limit bound
 // admission (0 = unbounded, -1 = auto from backend capacities); overload
@@ -67,6 +73,8 @@ func main() {
 	paramsName := flag.String("params", "128f", "SPHINCS+ parameter set")
 	gpus := flag.String("gpus", "RTX 4090", "comma-separated simulated devices, one backend each (empty for none)")
 	cpuref := flag.Int("cpuref", 0, "real-CPU lane-engine backend with N goroutines (0 = none, -1 = GOMAXPROCS)")
+	memoMB := flag.Int("memo-mb", 0, "per-key hypertree memoization cache budget in MiB for cpuref backends (0 = off)")
+	memoWarm := flag.Bool("memo-warm", true, "prebuild the memo cache's pinned layers during startup warm-up")
 	shards := flag.Int("shards", 1, "key domains; backends distribute round-robin")
 	queueLimit := flag.Int("queue-limit", 0, "per-shard admission cap (0 = unbounded, -1 = auto)")
 	globalLimit := flag.Int("global-queue-limit", 0, "service-wide admission cap (0 = unbounded, -1 = auto)")
@@ -117,7 +125,12 @@ func main() {
 		opts = append(opts, herosign.WithServiceDevices(devs...))
 	}
 	if *cpuref != 0 {
-		opts = append(opts, herosign.WithBackend(herosign.NewCPURefBackend(*cpuref)))
+		if *memoMB > 0 {
+			opts = append(opts, herosign.WithBackend(
+				herosign.NewCPURefBackendMemo(*cpuref, int64(*memoMB)<<20, *memoWarm)))
+		} else {
+			opts = append(opts, herosign.WithBackend(herosign.NewCPURefBackend(*cpuref)))
+		}
 	}
 	if *remotes != "" {
 		if *keyFile == "" {

@@ -14,7 +14,9 @@
 //     SignBatch(1) calls on one device — the paper's batching argument,
 //     restated as a serving-layer speedup;
 //  4. fetches /v1/stats over HTTP and prints per-backend stats, dispatch
-//     weights and the batch-size histogram.
+//     weights, the batch-size histogram and — since the cpuref backend runs
+//     with a hypertree memo cache (-memo-mb) — the per-shard cache
+//     hit/miss/residency counters.
 //
 // Phase 2 — overload: a service bounded by -queue-limit per shard is hit
 // over HTTP with 2x its total admission capacity at once. The demo asserts
@@ -47,6 +49,7 @@ func main() {
 	verifies := flag.Int("verifies", 100, "verify submissions mixed in")
 	keygens := flag.Int("keygens", 32, "keygen submissions mixed in")
 	queueLimit := flag.Int("queue-limit", 24, "per-shard admission cap for the overload phase")
+	memoMB := flag.Int("memo-mb", 8, "hypertree memo cache budget in MiB for the cpuref backend (0 = off)")
 	flag.Parse()
 
 	p := herosign.SPHINCSPlus128f
@@ -60,12 +63,18 @@ func main() {
 	}
 	cpuThreads := runtime.GOMAXPROCS(0)
 
+	cpuBackend := func() herosign.Backend {
+		if *memoMB > 0 {
+			return herosign.NewCPURefBackendMemo(cpuThreads, int64(*memoMB)<<20, true)
+		}
+		return herosign.NewCPURefBackend(cpuThreads)
+	}
 	mixedOpts := func() []herosign.ServiceOption {
 		return []herosign.ServiceOption{
 			herosign.WithServiceParams(p),
 			herosign.WithServiceKey(sk),
 			herosign.WithServiceDevices(dev),
-			herosign.WithBackend(herosign.NewCPURefBackend(cpuThreads)),
+			herosign.WithBackend(cpuBackend()),
 			herosign.WithShards(2),
 			herosign.WithServiceFlushDeadline(2 * time.Millisecond),
 		}
@@ -219,6 +228,22 @@ func main() {
 		fmt.Printf(" %s:%d", b.Le, b.Count)
 	}
 	fmt.Println()
+	for _, ss := range st.Shards {
+		if ss.Memo == nil {
+			continue
+		}
+		m := ss.Memo
+		total := m.Hits + m.Misses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = 100 * float64(m.Hits) / float64(total)
+		}
+		fmt.Printf("  shard %d memo: hits=%d misses=%d (%.1f%% hit) wots_hits=%d evictions=%d "+
+			"resident=%.1f/%.0fMiB pinned_layers=%d warmed=%d\n",
+			ss.Shard, m.Hits, m.Misses, hitPct, m.WOTSHits, m.Evictions,
+			float64(m.ResidentBytes)/(1<<20), float64(m.BudgetBytes)/(1<<20),
+			m.PinnedLayers, m.WarmedEntries)
+	}
 
 	speedup := baselineSec / st.ModeledMakespanSec
 	fmt.Printf("\nfleet makespan: %.2fms (%.0f sign/s) vs %d×SignBatch(1) on %s: %.2fms — %.1f× speedup\n",

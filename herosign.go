@@ -273,6 +273,16 @@ func NewDeviceBackend(d *GPU) Backend { return service.NewDeviceBackend(d) }
 // Backend with the given worker-goroutine count (<= 0 selects GOMAXPROCS).
 func NewCPURefBackend(threads int) Backend { return service.NewCPURefBackend(threads) }
 
+// NewCPURefBackendMemo is NewCPURefBackend with per-key hypertree
+// memoization: all workers share a cache of XMSS subtree state bounded by
+// memoBytes, and with warm set the pinned top layers are prebuilt during
+// backend warm-up (before the shard serves) instead of on the request
+// path. Cache counters surface under "memo" in Service.Stats and
+// /v1/stats. Signatures are byte-identical with and without the cache.
+func NewCPURefBackendMemo(threads int, memoBytes int64, warm bool) Backend {
+	return service.NewCPURefBackendMemo(threads, memoBytes, warm)
+}
+
 // Service options, wrapped so callers need only this package. The
 // WithService* names avoid clashing with the Accelerator options.
 

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"herosign/internal/cpuref"
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// Memo measures the per-key hypertree memoization cache: single-thread
+// wall-clock cpuref signing throughput cold (no cache) vs warmed
+// steady-state (pinned layers prebuilt, the working set's lower subtrees
+// and WOTS slots resident from a populate pass). The steady rows model a
+// service signing a bounded working set of messages — certificate or token
+// re-issuance — where nearly every hypertree layer is a cache hit. The
+// uniform row signs fresh messages against a warm cache, isolating the
+// gain from the pinned upper layers alone. Byte-identity of cached vs
+// uncached signatures is asserted on every message measured.
+func (s *Suite) Memo() (*Table, error) {
+	const budget = int64(8) << 20
+	t := &Table{
+		ID:     "memo",
+		Title:  "Per-key hypertree memoization: cold vs warmed steady-state, 1 thread (wall-clock)",
+		Header: []string{"Set", "Mode", "W", "sigs/s 1T", "vs cold", "hit%", "resident MiB", "pinned layers"},
+		Notes: []string{
+			fmt.Sprintf("cache budget %d MiB per key; warm = pinned layers prebuilt + one populate pass over the working set", budget>>20),
+			"steady = re-signing the working set; uniform = fresh messages against the warm cache (pinned-layer gain only)",
+		},
+	}
+	for _, p := range params.FastSets() {
+		// Working set sized so its lower subtrees fit the LRU share of the
+		// budget: per-entry cost grows ~2x from 128f to 192f and ~7x to
+		// 256f (wider WOTS chains and larger nodes).
+		w := 48
+		switch p.N {
+		case 24:
+			w = 24
+		case 32:
+			w = 12
+		}
+		sk := s.key(p)
+		msgs := make([][]byte, w)
+		for i := range msgs {
+			msgs[i] = []byte(fmt.Sprintf("memo working-set %s %d", p.Name, i))
+		}
+
+		coldSigs, coldRate, err := measureBatch1T(sk, msgs, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{p.Name, "cold", d0(int64(w)),
+			f1(coldRate), f2x(1), "-", "-", "-"})
+
+		cache := spx.NewTreeCache(sk, budget)
+		cache.Warm(runtime.GOMAXPROCS(0))
+		// Populate pass: installs the working set's lower subtrees and
+		// message-tagged WOTS slots; not measured.
+		if _, _, err := cpuref.SignBatchCached(sk, msgs, 1, cache); err != nil {
+			return nil, err
+		}
+		warmSigs, warmRate, err := measureBatch1T(sk, msgs, cache)
+		if err != nil {
+			return nil, err
+		}
+		for i := range msgs {
+			if !bytes.Equal(warmSigs[i], coldSigs[i]) {
+				return nil, fmt.Errorf("memo: %s message %d: cached signature differs from cold", p.Name, i)
+			}
+		}
+		st := cache.Stats()
+		t.Rows = append(t.Rows, []string{p.Name, "steady", d0(int64(w)),
+			f1(warmRate), f2x(warmRate / coldRate), f1(hitPct(st)),
+			f2(float64(st.ResidentBytes) / (1 << 20)), d0(int64(st.PinnedLayers))})
+
+		if p.Name == params.SPHINCSPlus128f.Name {
+			fresh := make([][]byte, w)
+			for i := range fresh {
+				fresh[i] = []byte(fmt.Sprintf("memo uniform %s %d", p.Name, i))
+			}
+			refSigs, _, err := measureBatch1T(sk, fresh, nil)
+			if err != nil {
+				return nil, err
+			}
+			uniSigs, uniRate, err := measureBatch1T(sk, fresh, cache)
+			if err != nil {
+				return nil, err
+			}
+			for i := range fresh {
+				if !bytes.Equal(uniSigs[i], refSigs[i]) {
+					return nil, fmt.Errorf("memo: uniform message %d: cached signature differs", i)
+				}
+			}
+			st = cache.Stats()
+			t.Rows = append(t.Rows, []string{p.Name, "uniform", d0(int64(w)),
+				f1(uniRate), f2x(uniRate / coldRate), f1(hitPct(st)),
+				f2(float64(st.ResidentBytes) / (1 << 20)), d0(int64(st.PinnedLayers))})
+		}
+	}
+	return t, nil
+}
+
+// measureBatch1T signs msgs single-threaded (optionally through cache) and
+// returns the signatures plus sigs/s, repeating the batch until roughly
+// 250ms of measurement.
+func measureBatch1T(sk *spx.PrivateKey, msgs [][]byte, cache *spx.TreeCache) ([][]byte, float64, error) {
+	var sigs [][]byte
+	var signed int
+	var elapsed time.Duration
+	for elapsed < 250*time.Millisecond {
+		start := time.Now()
+		out, _, err := cpuref.SignBatchCached(sk, msgs, 1, cache)
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed += time.Since(start)
+		signed += len(msgs)
+		sigs = out
+	}
+	return sigs, float64(signed) / elapsed.Seconds(), nil
+}
+
+func hitPct(st spx.TreeCacheStats) float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(st.Hits) / float64(total)
+}

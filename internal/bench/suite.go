@@ -124,6 +124,7 @@ func Experiments() []Experiment {
 		{"lanes", "Host multi-lane SHA-256 engine (wall-clock)", (*Suite).LaneEngine},
 		{"overload", "Admission control under 2x overload (wall-clock)", (*Suite).Overload},
 		{"remote", "Remote fleet-of-fleets: hedging and degraded leaf (wall-clock)", (*Suite).RemoteFleet},
+		{"memo", "Per-key hypertree memoization: cold vs warmed steady-state (wall-clock)", (*Suite).Memo},
 	}
 }
 

@@ -44,6 +44,13 @@ type Result struct {
 // the seeded midstate, lane engine and scratch arenas are set up once per
 // worker, not once per message.
 func SignBatch(sk *spx.PrivateKey, msgs [][]byte, threads int) ([][]byte, *Result, error) {
+	return SignBatchCached(sk, msgs, threads, nil)
+}
+
+// SignBatchCached is SignBatch with every worker sharing one hypertree
+// memoization cache for the key (nil cache selects the plain path).
+// Signatures are byte-identical with and without the cache.
+func SignBatchCached(sk *spx.PrivateKey, msgs [][]byte, threads int, cache *spx.TreeCache) ([][]byte, *Result, error) {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -58,7 +65,11 @@ func SignBatch(sk *spx.PrivateKey, msgs [][]byte, threads int) ([][]byte, *Resul
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			signer := spx.NewSigner(sk)
+			signer, err := spx.NewSignerWithCache(sk, cache)
+			if err != nil {
+				errs[w] = err
+				return
+			}
 			for i := w; i < len(msgs); i += threads {
 				sig, err := signer.Sign(msgs[i], nil)
 				if err != nil {

@@ -1,0 +1,68 @@
+package cpuref
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"herosign/internal/spx"
+)
+
+// TestSignBatchCachedMatchesUncached: a multi-threaded batch over one shared
+// TreeCache must produce signatures byte-identical to the cache-free pool —
+// repeated messages exercise the warm-hit path, fresh ones the miss path.
+// Under -race this doubles as the concurrent shared-cache test: all workers
+// mutate the same cache while signing.
+func TestSignBatchCachedMatchesUncached(t *testing.T) {
+	sk := key(t)
+	cache := spx.NewTreeCache(sk, 4<<20)
+	cache.Warm(2)
+
+	msgs := make([][]byte, 24)
+	for i := range msgs {
+		// 8 distinct messages, each repeated 3x, interleaved.
+		msgs[i] = []byte(fmt.Sprintf("memo batch message %d", i%8))
+	}
+
+	want, _, err := SignBatch(sk, msgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ { // cold LRU, then warm
+		got, res, err := SignBatchCached(sk, msgs, 4, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Messages != len(msgs) {
+			t.Fatalf("pass %d: result %+v", pass, res)
+		}
+		for i := range msgs {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("pass %d message %d: cached signature differs", pass, i)
+			}
+		}
+	}
+	s := cache.Stats()
+	if s.Hits == 0 || s.WOTSHits == 0 {
+		t.Fatalf("warm pass produced no hits: %+v", s)
+	}
+}
+
+// TestSignBatchCachedNilCache: a nil cache must behave exactly like SignBatch.
+func TestSignBatchCachedNilCache(t *testing.T) {
+	sk := key(t)
+	msgs := [][]byte{[]byte("a"), []byte("b")}
+	want, _, err := SignBatch(sk, msgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := SignBatchCached(sk, msgs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("message %d differs", i)
+		}
+	}
+}

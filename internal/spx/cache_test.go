@@ -1,0 +1,160 @@
+package spx
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"herosign/internal/spx/params"
+)
+
+func cacheTestKey(t testing.TB, p *params.Params) *PrivateKey {
+	t.Helper()
+	skSeed := make([]byte, p.N)
+	skPRF := make([]byte, p.N)
+	pkSeed := make([]byte, p.N)
+	for i := range skSeed {
+		skSeed[i] = byte(i)
+		skPRF[i] = byte(i + 1)
+		pkSeed[i] = byte(i + 2)
+	}
+	sk, err := KeyFromSeeds(p, skSeed, skPRF, pkSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// TestCacheByteIdentity: full SPHINCS+ signatures must be byte-identical
+// with memoization on and off — the KAT seeds and message, plus varied
+// messages, cold and warm cache, warmed and lazy pinned layers.
+func TestCacheByteIdentity(t *testing.T) {
+	sets := []*params.Params{params.SPHINCSPlus128f}
+	if !testing.Short() {
+		sets = params.FastSets()
+	}
+	for _, p := range sets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			sk := cacheTestKey(t, p)
+			cache := NewTreeCache(sk, 4<<20)
+			cache.Warm(2)
+			plain := NewSigner(sk)
+			cached, err := NewSignerWithCache(sk, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			msgs := [][]byte{
+				[]byte("HERO-Sign known-answer test message"), // the KAT message
+				[]byte("memoization probe 1"),
+				[]byte("memoization probe 2"),
+			}
+			for pass := 0; pass < 2; pass++ { // cold then warm LRU
+				for mi, msg := range msgs {
+					want, err := plain.Sign(msg, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := cached.Sign(msg, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("pass %d msg %d: cached signature differs from plain", pass, mi)
+					}
+					if err := Verify(&sk.PublicKey, msg, got); err != nil {
+						t.Fatalf("pass %d msg %d: cached signature fails verify: %v", pass, mi, err)
+					}
+				}
+			}
+			if s := cache.Stats(); s.Hits == 0 {
+				t.Fatalf("cache never hit: %+v", s)
+			}
+		})
+	}
+}
+
+// TestNewSignerWithCacheRejectsForeignKey: a cache built for one key must
+// not attach to a signer for another.
+func TestNewSignerWithCacheRejectsForeignKey(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := cacheTestKey(t, p)
+	cache := NewTreeCache(sk, 1<<20)
+
+	other := make([]byte, p.N)
+	copy(other, sk.SKSeed)
+	other[0] ^= 1
+	sk2, err := KeyFromSeeds(p, other, sk.SKPRF, sk.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSignerWithCache(sk2, cache); err == nil {
+		t.Fatal("foreign key accepted")
+	}
+	if _, err := NewSignerWithCache(sk, cache); err != nil {
+		t.Fatalf("own key rejected: %v", err)
+	}
+	if s, err := NewSignerWithCache(sk, nil); err != nil || s == nil {
+		t.Fatalf("nil cache rejected: %v", err)
+	}
+}
+
+// TestConcurrentSignersSharedCache: many Signers over one TreeCache,
+// signing overlapping messages concurrently, must produce signatures
+// byte-identical to the single-threaded plain signer. Run with -race.
+func TestConcurrentSignersSharedCache(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	sk := cacheTestKey(t, p)
+	// Small budget so concurrent signers also contend on eviction.
+	cache := NewTreeCache(sk, 1<<20)
+
+	const distinct = 6
+	msgs := make([][]byte, distinct)
+	want := make([][]byte, distinct)
+	plain := NewSigner(sk)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("shared-cache message %d", i))
+		sig, err := plain.Sign(msgs[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sig
+	}
+
+	const workers = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			signer, err := NewSignerWithCache(sk, cache)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for it := 0; it < iters; it++ {
+				i := (w + it) % distinct
+				got, err := signer.Sign(msgs[i], nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(got, want[i]) {
+					errs[w] = fmt.Errorf("worker %d iter %d: signature differs", w, it)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package hypertree
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/spx/params"
+	"herosign/internal/spx/treecache"
+)
+
+func testCache(t testing.TB, p *params.Params, budget int64) *treecache.Cache {
+	t.Helper()
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(i + 29)
+		skSeed[i] = byte(7 * i)
+	}
+	return treecache.New(p, pkSeed, skSeed, budget)
+}
+
+// TestSignCachedByteIdentity: SignCached must emit exactly Sign's bytes on
+// cold, partially-warm and fully-warm passes, across paths and messages.
+func TestSignCachedByteIdentity(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	cache := testCache(t, p, 8<<20)
+
+	msgs := make([][]byte, 3)
+	for m := range msgs {
+		msgs[m] = make([]byte, p.N)
+		for i := range msgs[m] {
+			msgs[m][i] = byte(i*9 + m)
+		}
+	}
+	paths := []struct {
+		tree uint64
+		leaf uint32
+	}{{0, 0}, {1, 3}, {0xFFFFFFFF, 7}, {1 << 40, 5}, {1, 3}}
+
+	for pass := 0; pass < 2; pass++ {
+		for _, path := range paths {
+			for _, msg := range msgs {
+				want := make([]byte, p.D*p.XMSSBytes)
+				wantRoot := make([]byte, p.N)
+				Sign(ctx, wantRoot, want, msg, path.tree, path.leaf)
+				got := make([]byte, p.D*p.XMSSBytes)
+				gotRoot := make([]byte, p.N)
+				SignCached(ctx, cache, gotRoot, got, msg, path.tree, path.leaf)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("pass %d path (%d,%d): cached signature differs", pass, path.tree, path.leaf)
+				}
+				if !bytes.Equal(gotRoot, wantRoot) {
+					t.Fatalf("pass %d path (%d,%d): cached root differs", pass, path.tree, path.leaf)
+				}
+			}
+		}
+	}
+	if s := cache.Stats(); s.Hits == 0 || s.WOTSHits == 0 {
+		t.Fatalf("second pass produced no hits: %+v", s)
+	}
+}
+
+// TestSignCachedVerifies: cached signatures recover the public root.
+func TestSignCachedVerifies(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	cache := testCache(t, p, 4<<20)
+	pub := Root(ctx)
+	msg := make([]byte, p.N)
+	sig := make([]byte, p.D*p.XMSSBytes)
+	rec := make([]byte, p.N)
+	for i := 0; i < 2; i++ {
+		SignCached(ctx, cache, nil, sig, msg, 12345, 2)
+		PKFromSig(ctx, rec, sig, msg, 12345, 2)
+		if !bytes.Equal(rec, pub) {
+			t.Fatalf("pass %d: cached signature does not recover the public root", i)
+		}
+	}
+}
+
+// TestSignCachedSteadyStateAllocFree: once every layer of a path is a full
+// hit (node table and WOTS slots resident for the repeated message), the
+// memoized hypertree sign path must perform zero allocations.
+func TestSignCachedSteadyStateAllocFree(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	cache := testCache(t, p, 8<<20)
+	msg := make([]byte, p.N)
+	for i := range msg {
+		msg[i] = byte(i + 3)
+	}
+	sig := make([]byte, p.D*p.XMSSBytes)
+	root := make([]byte, p.N)
+
+	// Prime: first pass installs every layer, second fills any WOTS slots.
+	SignCached(ctx, cache, root, sig, msg, 777, 4)
+	SignCached(ctx, cache, root, sig, msg, 777, 4)
+
+	before := cache.Stats()
+	allocs := testing.AllocsPerRun(50, func() {
+		SignCached(ctx, cache, root, sig, msg, 777, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cached sign allocates %.1f times per run", allocs)
+	}
+	after := cache.Stats()
+	if after.Misses != before.Misses || after.WOTSFills != before.WOTSFills {
+		t.Fatalf("steady state was not all full hits: before %+v after %+v", before, after)
+	}
+}

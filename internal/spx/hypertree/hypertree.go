@@ -5,6 +5,7 @@ package hypertree
 import (
 	"herosign/internal/spx/address"
 	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/treecache"
 	"herosign/internal/spx/xmss"
 )
 
@@ -24,6 +25,31 @@ func Sign(ctx *hashes.Ctx, root, sig, msg []byte, treeIdx uint64, leafIdx uint32
 		layerSig := sig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
 		xmss.Sign(ctx, node[:p.N], layerSig, node[:p.N], &treeAdrs, leafIdx)
 		// Update indices for the next layer (paper Fig. 2 snippet).
+		leafIdx = uint32(treeIdx & ((1 << uint(p.TreeHeight)) - 1))
+		treeIdx >>= uint(p.TreeHeight)
+	}
+	if root != nil {
+		copy(root[:p.N], node[:p.N])
+	}
+}
+
+// SignCached is Sign with a per-key memoization cache consulted at every
+// layer: cached subtrees emit their auth path (and, on a WOTS tag match,
+// the whole layer signature) as memcpys instead of rebuilding the tree;
+// misses build via the lane-batched xmss path and populate the cache. A nil
+// cache is exactly Sign. Signatures are byte-identical either way, and the
+// all-layers-hit steady state performs no allocation.
+func SignCached(ctx *hashes.Ctx, cache *treecache.Cache, root, sig, msg []byte, treeIdx uint64, leafIdx uint32) {
+	if cache == nil {
+		Sign(ctx, root, sig, msg, treeIdx, leafIdx)
+		return
+	}
+	p := ctx.P
+	var node [32]byte // N <= 32; the root chained between layers
+	copy(node[:p.N], msg[:p.N])
+	for layer := 0; layer < p.D; layer++ {
+		layerSig := sig[layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
+		cache.SignLayer(ctx, node[:p.N], layerSig, node[:p.N], layer, treeIdx, leafIdx)
 		leafIdx = uint32(treeIdx & ((1 << uint(p.TreeHeight)) - 1))
 		treeIdx >>= uint(p.TreeHeight)
 	}

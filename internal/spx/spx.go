@@ -18,6 +18,7 @@ import (
 	"herosign/internal/spx/hashes"
 	"herosign/internal/spx/hypertree"
 	"herosign/internal/spx/params"
+	"herosign/internal/spx/treecache"
 )
 
 // PublicKey is a SPHINCS+ public key: (PK.seed, PK.root).
@@ -120,13 +121,42 @@ type SignOptions struct {
 // and no per-hash allocation. A Signer is NOT safe for concurrent use;
 // create one per worker.
 type Signer struct {
-	sk  *PrivateKey
-	ctx *hashes.Ctx
+	sk    *PrivateKey
+	ctx   *hashes.Ctx
+	cache *treecache.Cache // optional; shared across signers of one key
 }
 
 // NewSigner builds a reusable signer for sk.
 func NewSigner(sk *PrivateKey) *Signer {
 	return &Signer{sk: sk, ctx: hashes.NewCtx(sk.Params, sk.Seed, sk.SKSeed)}
+}
+
+// TreeCache memoizes XMSS subtree state for one key: pinned top hypertree
+// layers plus an LRU of lower subtrees, shared safely by any number of
+// Signers. See package treecache.
+type TreeCache = treecache.Cache
+
+// TreeCacheStats snapshots a TreeCache's hit/miss/residency counters.
+type TreeCacheStats = treecache.Stats
+
+// NewTreeCache builds a hypertree memoization cache for sk holding at most
+// budgetBytes. Populate the pinned layers up front with (*TreeCache).Warm,
+// or let them fill lazily.
+func NewTreeCache(sk *PrivateKey, budgetBytes int64) *TreeCache {
+	return treecache.New(sk.Params, sk.Seed, sk.SKSeed, budgetBytes)
+}
+
+// NewSignerWithCache builds a reusable signer for sk that consults cache on
+// the hypertree layers. A nil cache yields a plain NewSigner. The cache
+// must have been built for sk (its state embeds key-derived values), so a
+// mismatched cache is an error rather than a silent wrong signature.
+func NewSignerWithCache(sk *PrivateKey, cache *TreeCache) (*Signer, error) {
+	if cache != nil && !cache.MatchesKey(sk.Params, sk.Seed, sk.SKSeed) {
+		return nil, errors.New("spx: tree cache was built for a different key")
+	}
+	s := NewSigner(sk)
+	s.cache = cache
+	return s, nil
 }
 
 // Sign produces a SPHINCS+ signature of msg, reusing the signer's context.
@@ -168,7 +198,7 @@ func (s *Signer) Sign(msg []byte, opts *SignOptions) ([]byte, error) {
 	forsPK := fors.Sign(ctx, sig[p.N:p.N+p.ForsBytes], md, &forsAdrs)
 
 	// Hypertree over the FORS public key.
-	hypertree.Sign(ctx, nil, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
+	hypertree.SignCached(ctx, s.cache, nil, sig[p.N+p.ForsBytes:], forsPK, treeIdx, leafIdx)
 	ctx.C = nil
 	return sig, nil
 }

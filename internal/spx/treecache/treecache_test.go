@@ -1,0 +1,316 @@
+package treecache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+	"herosign/internal/spx/xmss"
+)
+
+func testSeeds(p *params.Params) (pkSeed, skSeed []byte) {
+	pkSeed = make([]byte, p.N)
+	skSeed = make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(i + 2)
+		skSeed[i] = byte(i)
+	}
+	return
+}
+
+func testCtx(p *params.Params) *hashes.Ctx {
+	pkSeed, skSeed := testSeeds(p)
+	return hashes.NewCtx(p, pkSeed, skSeed)
+}
+
+// signLayerUncached is the oracle: what xmss.Sign produces for the layer.
+func signLayerUncached(ctx *hashes.Ctx, root, sig, msg []byte, layer int, treeIdx uint64, leafIdx uint32) {
+	var adrs address.Address
+	adrs.SetLayer(uint32(layer))
+	adrs.SetTree(treeIdx)
+	xmss.Sign(ctx, root, sig, msg, &adrs, leafIdx)
+}
+
+// TestSignLayerByteIdentity: miss, node-hit and full-hit paths must all
+// produce exactly xmss.Sign's bytes.
+func TestSignLayerByteIdentity(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(p)
+	pkSeed, skSeed := testSeeds(p)
+	c := New(p, pkSeed, skSeed, 1<<20)
+
+	msg := make([]byte, p.N)
+	for i := range msg {
+		msg[i] = byte(i * 5)
+	}
+	msg2 := make([]byte, p.N)
+	for i := range msg2 {
+		msg2[i] = byte(i*7 + 1)
+	}
+
+	wantSig := make([]byte, p.XMSSBytes)
+	wantRoot := make([]byte, p.N)
+	gotSig := make([]byte, p.XMSSBytes)
+	gotRoot := make([]byte, p.N)
+
+	const layer, tree, leaf = 1, 99, 3
+	signLayerUncached(ctx, wantRoot, wantSig, msg, layer, tree, leaf)
+
+	// Pass 1: miss (tree never seen).
+	c.SignLayer(ctx, gotRoot, gotSig, msg, layer, tree, leaf)
+	if !bytes.Equal(gotSig, wantSig) || !bytes.Equal(gotRoot, wantRoot) {
+		t.Fatal("miss path differs from xmss.Sign")
+	}
+	// Pass 2: full hit (same leaf, same message).
+	c.SignLayer(ctx, gotRoot, gotSig, msg, layer, tree, leaf)
+	if !bytes.Equal(gotSig, wantSig) || !bytes.Equal(gotRoot, wantRoot) {
+		t.Fatal("full-hit path differs from xmss.Sign")
+	}
+	// Pass 3: node hit, WOTS miss (same leaf, different message).
+	signLayerUncached(ctx, wantRoot, wantSig, msg2, layer, tree, leaf)
+	c.SignLayer(ctx, gotRoot, gotSig, msg2, layer, tree, leaf)
+	if !bytes.Equal(gotSig, wantSig) || !bytes.Equal(gotRoot, wantRoot) {
+		t.Fatal("node-hit path differs from xmss.Sign")
+	}
+	// Pass 4: node hit on a different leaf.
+	signLayerUncached(ctx, wantRoot, wantSig, msg, layer, tree, leaf+1)
+	c.SignLayer(ctx, gotRoot, gotSig, msg, layer, tree, leaf+1)
+	if !bytes.Equal(gotSig, wantSig) || !bytes.Equal(gotRoot, wantRoot) {
+		t.Fatal("other-leaf path differs from xmss.Sign")
+	}
+
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 3 || s.WOTSHits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 3 hits / 1 wots hit", s)
+	}
+}
+
+// TestSignLayerRootAliasesMsg: SignLayer must tolerate root aliasing msg —
+// the exact shape hypertree's layer loop uses (one chained node buffer).
+func TestSignLayerRootAliasesMsg(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(p)
+	pkSeed, skSeed := testSeeds(p)
+	c := New(p, pkSeed, skSeed, 1<<20)
+
+	var node [32]byte
+	for i := 0; i < p.N; i++ {
+		node[i] = byte(i * 3)
+	}
+	msgCopy := append([]byte(nil), node[:p.N]...)
+	wantSig := make([]byte, p.XMSSBytes)
+	wantRoot := make([]byte, p.N)
+	signLayerUncached(ctx, wantRoot, wantSig, msgCopy, 0, 7, 2)
+
+	for pass := 0; pass < 3; pass++ { // miss, then full hit, then again
+		copy(node[:p.N], msgCopy)
+		gotSig := make([]byte, p.XMSSBytes)
+		c.SignLayer(ctx, node[:p.N], gotSig, node[:p.N], 0, 7, 2)
+		if !bytes.Equal(gotSig, wantSig) || !bytes.Equal(node[:p.N], wantRoot) {
+			t.Fatalf("pass %d: aliased root/msg output differs", pass)
+		}
+	}
+}
+
+// TestPinnedPlanAndEviction: the pinned plan covers the top layers the
+// budget affords; lower layers evict LRU-fashion and stay within budget.
+func TestPinnedPlanAndEviction(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed, skSeed := testSeeds(p)
+
+	// Budget for ~12 entries: half pins layers D-1 and D-2 (1 + 8 = 9
+	// trees), half leaves room for a small LRU.
+	c := New(p, pkSeed, skSeed, 24*c0EntrySize(p))
+	if got, want := p.D-c.pinFloor, 2; got != want {
+		t.Fatalf("pinned layers = %d, want %d", got, want)
+	}
+
+	ctx := testCtx(p)
+	sig := make([]byte, p.XMSSBytes)
+	root := make([]byte, p.N)
+	msg := make([]byte, p.N)
+	// Touch more distinct layer-0 trees than the LRU can hold.
+	for i := 0; i < 40; i++ {
+		c.SignLayer(ctx, root, sig, msg, 0, uint64(i), 0)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("no evictions under LRU pressure")
+	}
+	if s.ResidentBytes > s.BudgetBytes {
+		t.Fatalf("resident %d exceeds budget %d", s.ResidentBytes, s.BudgetBytes)
+	}
+	// Evicted trees still sign correctly (as fresh misses).
+	wantSig := make([]byte, p.XMSSBytes)
+	wantRoot := make([]byte, p.N)
+	signLayerUncached(ctx, wantRoot, wantSig, msg, 0, 0, 0)
+	c.SignLayer(ctx, root, sig, msg, 0, 0, 0)
+	if !bytes.Equal(sig, wantSig) || !bytes.Equal(root, wantRoot) {
+		t.Fatal("re-signing an evicted tree differs from xmss.Sign")
+	}
+}
+
+// c0EntrySize exposes the uniform entry cost for budget math in tests.
+func c0EntrySize(p *params.Params) int64 {
+	leaves := int64(1) << uint(p.TreeHeight)
+	return int64(xmss.NodesLen(p)) + leaves*int64(p.WOTSBytes) +
+		leaves*int64(p.N) + leaves + entryOverhead
+}
+
+// TestTinyBudgetStillCorrect: a budget below one entry must degrade to
+// compute-only (no retention, no panic), not to wrong output.
+func TestTinyBudgetStillCorrect(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed, skSeed := testSeeds(p)
+	c := New(p, pkSeed, skSeed, 64)
+	ctx := testCtx(p)
+	msg := make([]byte, p.N)
+	sig := make([]byte, p.XMSSBytes)
+	root := make([]byte, p.N)
+	wantSig := make([]byte, p.XMSSBytes)
+	wantRoot := make([]byte, p.N)
+	signLayerUncached(ctx, wantRoot, wantSig, msg, 0, 3, 1)
+	for i := 0; i < 2; i++ {
+		c.SignLayer(ctx, root, sig, msg, 0, 3, 1)
+		if !bytes.Equal(sig, wantSig) || !bytes.Equal(root, wantRoot) {
+			t.Fatal("tiny-budget output differs from xmss.Sign")
+		}
+	}
+	if s := c.Stats(); s.ResidentBytes != 0 || s.Entries != 0 {
+		t.Fatalf("tiny budget retained state: %+v", s)
+	}
+}
+
+// TestWarmPrefillsPinnedLayers: after Warm, signing any path fully hits
+// every warmed layer above the pin floor (their WOTS slots were prefilled
+// with the deterministic child roots).
+func TestWarmPrefillsPinnedLayers(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed, skSeed := testSeeds(p)
+	c := New(p, pkSeed, skSeed, 24*c0EntrySize(p))
+	c.Warm(2)
+
+	s := c.Stats()
+	if s.WarmedEntries != 9 { // layers 21 (1 tree) + 20 (8 trees)
+		t.Fatalf("warmed entries = %d, want 9", s.WarmedEntries)
+	}
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Warm touched hit/miss counters: %+v", s)
+	}
+
+	// Sign the top two layers of an arbitrary path against the oracle; the
+	// top layer (prefilled) must be a full hit with zero fills.
+	ctx := testCtx(p)
+	msg := make([]byte, p.N)
+	for i := range msg {
+		msg[i] = byte(i + 1)
+	}
+	sig := make([]byte, p.XMSSBytes)
+	root := make([]byte, p.N)
+
+	// Layer D-2, tree 5: node table warmed; WOTS slot fills on first use.
+	wantSig := make([]byte, p.XMSSBytes)
+	wantRoot := make([]byte, p.N)
+	signLayerUncached(ctx, wantRoot, wantSig, msg, p.D-2, 5, 1)
+	c.SignLayer(ctx, root, sig, msg, p.D-2, 5, 1)
+	if !bytes.Equal(sig, wantSig) || !bytes.Equal(root, wantRoot) {
+		t.Fatal("warmed-layer output differs from xmss.Sign")
+	}
+	// Layer D-1 signs layer D-2's root — prefilled, so a pure memcpy hit.
+	signLayerUncached(ctx, wantRoot, wantSig, root, p.D-1, 0, 5)
+	before := c.Stats()
+	got2 := make([]byte, p.XMSSBytes)
+	root2 := make([]byte, p.N)
+	c.SignLayer(ctx, root2, got2, root, p.D-1, 0, 5)
+	if !bytes.Equal(got2, wantSig) || !bytes.Equal(root2, wantRoot) {
+		t.Fatal("top-layer output differs from xmss.Sign")
+	}
+	after := c.Stats()
+	if after.WOTSHits != before.WOTSHits+1 || after.WOTSFills != before.WOTSFills {
+		t.Fatalf("top layer was not a prefilled full hit: before %+v after %+v", before, after)
+	}
+}
+
+// TestConcurrentSharedCache: many goroutines signing overlapping paths
+// through one cache under LRU pressure must race-detect clean and produce
+// oracle-identical bytes. Run with -race.
+func TestConcurrentSharedCache(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed, skSeed := testSeeds(p)
+	// LRU capacity (8) below the distinct-subtree count (10), so entries
+	// evict and refill concurrently, exercising the evicted-meanwhile store.
+	c := New(p, pkSeed, skSeed, 9*c0EntrySize(p))
+	const workers = 8
+	const iters = 30
+
+	// Oracle signatures computed single-threaded first.
+	type job struct {
+		layer int
+		tree  uint64
+		leaf  uint32
+	}
+	jobs := make([]job, 0, 12)
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, job{layer: i % 2, tree: uint64(i % 5), leaf: uint32(i % 8)})
+	}
+	msg := make([]byte, p.N)
+	oracleCtx := testCtx(p)
+	wantSigs := make([][]byte, len(jobs))
+	wantRoots := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		wantSigs[i] = make([]byte, p.XMSSBytes)
+		wantRoots[i] = make([]byte, p.N)
+		signLayerUncached(oracleCtx, wantRoots[i], wantSigs[i], msg, j.layer, j.tree, j.leaf)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := testCtx(p)
+			sig := make([]byte, p.XMSSBytes)
+			root := make([]byte, p.N)
+			for it := 0; it < iters; it++ {
+				i := (w + it) % len(jobs)
+				j := jobs[i]
+				c.SignLayer(ctx, root, sig, msg, j.layer, j.tree, j.leaf)
+				if !bytes.Equal(sig, wantSigs[i]) || !bytes.Equal(root, wantRoots[i]) {
+					select {
+					case errc <- "concurrent SignLayer output differs from oracle":
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestMatchesKey rejects foreign key material.
+func TestMatchesKey(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed, skSeed := testSeeds(p)
+	c := New(p, pkSeed, skSeed, 1<<20)
+	if !c.MatchesKey(p, pkSeed, skSeed) {
+		t.Fatal("cache rejects its own key")
+	}
+	other := append([]byte(nil), pkSeed...)
+	other[0] ^= 1
+	if c.MatchesKey(p, other, skSeed) {
+		t.Fatal("cache accepts a different pk seed")
+	}
+	if c.MatchesKey(params.SPHINCSPlus192f, pkSeed, skSeed) {
+		t.Fatal("cache accepts a different parameter set")
+	}
+}

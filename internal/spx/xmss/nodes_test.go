@@ -1,0 +1,65 @@
+package xmss
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/spx/params"
+)
+
+// TestTreeNodesMatchesTreeHash: the node table's root and every leaf's auth
+// path must be byte-identical to what TreeHash computes directly — the
+// property that makes cached tables interchangeable with recomputation.
+func TestTreeNodesMatchesTreeHash(t *testing.T) {
+	for _, p := range []*params.Params{
+		params.SPHINCSPlus128f, // height 3
+		params.SPHINCSPlus256f, // height 4
+		params.SPHINCSPlus128s, // height 9, multi-pass lane reduction
+	} {
+		t.Run(p.Name, func(t *testing.T) {
+			ctx := testCtx(t, p)
+			adrs := subtree(2, 42)
+			nodes := make([]byte, NodesLen(p))
+			TreeNodes(ctx, nodes, adrs)
+
+			wantRoot := make([]byte, p.N)
+			wantAuth := make([]byte, p.TreeHeight*p.N)
+			gotRoot := make([]byte, p.N)
+			gotAuth := make([]byte, p.TreeHeight*p.N)
+			leaves := uint32(1) << uint(p.TreeHeight)
+			stride := uint32(1)
+			if leaves > 16 {
+				stride = leaves/8 - 1 // sample odd offsets across tall trees
+			}
+			for leaf := uint32(0); leaf < leaves; leaf += stride {
+				TreeHash(ctx, wantRoot, adrs, leaf, wantAuth)
+				RootFromNodes(p, gotRoot, nodes)
+				AuthFromNodes(p, gotAuth, nodes, leaf)
+				if !bytes.Equal(gotRoot, wantRoot) {
+					t.Fatalf("leaf %d: root differs from TreeHash", leaf)
+				}
+				if !bytes.Equal(gotAuth, wantAuth) {
+					t.Fatalf("leaf %d: auth path differs from TreeHash", leaf)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeNodesLeafLevel: the table's first segment is the leaf level in
+// index order (GenLeaf output), which Warm relies on when prefilling WOTS
+// slots from child roots.
+func TestTreeNodesLeafLevel(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	ctx := testCtx(t, p)
+	adrs := subtree(1, 7)
+	nodes := make([]byte, NodesLen(p))
+	TreeNodes(ctx, nodes, adrs)
+	leaf := make([]byte, p.N)
+	for i := uint32(0); i < 1<<uint(p.TreeHeight); i++ {
+		GenLeaf(ctx, leaf, adrs, i)
+		if !bytes.Equal(leaf, nodes[int(i)*p.N:(int(i)+1)*p.N]) {
+			t.Fatalf("leaf %d not at table offset %d", i, int(i)*p.N)
+		}
+	}
+}

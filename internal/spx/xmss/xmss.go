@@ -12,6 +12,7 @@ package xmss
 import (
 	"herosign/internal/spx/address"
 	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
 	"herosign/internal/spx/wots"
 )
 
@@ -62,6 +63,57 @@ func TreeHash(ctx *hashes.Ctx, root []byte, treeAdrs *address.Address, leafIdx u
 		idx >>= 1
 	}
 	copy(root[:p.N], level[:p.N])
+}
+
+// NodesLen returns the byte length of the full node table TreeNodes fills:
+// every node of one subtree, level by level from the leaves up
+// (2^TreeHeight + 2^(TreeHeight-1) + ... + 1 = 2*2^TreeHeight - 1 nodes of
+// N bytes each).
+func NodesLen(p *params.Params) int {
+	return (2*(1<<uint(p.TreeHeight)) - 1) * p.N
+}
+
+// TreeNodes computes every node of the subtree identified by treeAdrs into
+// nodes (NodesLen bytes): the leaf level first, then each reduction level,
+// the root last. It runs the same lane-batched reduction as TreeHash — only
+// the destination differs — so a cached node table is byte-identical to
+// what TreeHash would recompute on every signature.
+func TreeNodes(ctx *hashes.Ctx, nodes []byte, treeAdrs *address.Address) {
+	p := ctx.P
+	width := 1 << uint(p.TreeHeight)
+	for i := 0; i < width; i++ {
+		GenLeaf(ctx, nodes[i*p.N:(i+1)*p.N], treeAdrs, uint32(i))
+	}
+	level := ctx.XMSSLevelBuf()
+	copy(level, nodes[:width*p.N])
+	off := width * p.N
+	for h := 0; h < p.TreeHeight; h++ {
+		reduceLevel(ctx, level, width, treeAdrs, h+1)
+		width /= 2
+		copy(nodes[off:off+width*p.N], level[:width*p.N])
+		off += width * p.N
+	}
+}
+
+// AuthFromNodes copies the authentication path for leafIdx out of a
+// TreeNodes table into auth (TreeHeight*N bytes) without hashing.
+func AuthFromNodes(p *params.Params, auth, nodes []byte, leafIdx uint32) {
+	width := 1 << uint(p.TreeHeight)
+	off := 0
+	idx := int(leafIdx)
+	for h := 0; h < p.TreeHeight; h++ {
+		sib := idx ^ 1
+		copy(auth[h*p.N:(h+1)*p.N], nodes[off+sib*p.N:off+(sib+1)*p.N])
+		off += width * p.N
+		width /= 2
+		idx >>= 1
+	}
+}
+
+// RootFromNodes copies the subtree root (the last node) out of a TreeNodes
+// table into root (N bytes).
+func RootFromNodes(p *params.Params, root, nodes []byte) {
+	copy(root[:p.N], nodes[len(nodes)-p.N:])
 }
 
 // Sign produces one XMSS layer signature: the WOTS+ signature of msg under

@@ -17,6 +17,14 @@ import (
 type cpurefBackend struct {
 	threads int
 	weight  weightMeter
+
+	// Hypertree memoization (NewCPURefBackendMemo): all worker goroutines
+	// share one per-key cache, built — and, when memoWarm is set, fully
+	// prebuilt — inside Warm, so the router never reports the shard
+	// available before the fast path exists.
+	memoBytes int64
+	memoWarm  bool
+	cache     *spx.TreeCache
 }
 
 // NewCPURefBackend wraps the real-CPU lane-engine signer as a Backend with
@@ -30,7 +38,24 @@ func NewCPURefBackend(threads int) Backend {
 	return &cpurefBackend{threads: threads}
 }
 
-func (b *cpurefBackend) Name() string { return fmt.Sprintf("cpuref-%dt", b.threads) }
+// NewCPURefBackendMemo is NewCPURefBackend with a per-key hypertree
+// memoization cache of at most memoBytes shared by all workers. With warm
+// set, Warm prebuilds the pinned top layers before the backend serves —
+// moving warm-up off the request path — so the first request already hits;
+// otherwise they fill lazily. memoBytes <= 0 disables memoization.
+func NewCPURefBackendMemo(threads int, memoBytes int64, warm bool) Backend {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &cpurefBackend{threads: threads, memoBytes: memoBytes, memoWarm: warm}
+}
+
+func (b *cpurefBackend) Name() string {
+	if b.memoBytes > 0 {
+		return fmt.Sprintf("cpuref-%dt-memo", b.threads)
+	}
+	return fmt.Sprintf("cpuref-%dt", b.threads)
+}
 
 func (b *cpurefBackend) Capacity() int { return 8 * b.threads }
 
@@ -40,11 +65,24 @@ func (b *cpurefBackend) PreferredBatch() int { return 4 * b.threads }
 
 func (b *cpurefBackend) Weight() float64 { return b.weight.get() }
 
-// Warm calibrates the dispatch weight by timing one real signature and
-// scaling by the worker count (batched signing parallelizes linearly until
-// the cores run out).
+// Warm builds (and, when configured, prebuilds) the hypertree memoization
+// cache for the shard key, then calibrates the dispatch weight by timing
+// one real signature and scaling by the worker count (batched signing
+// parallelizes linearly until the cores run out). The router calls Warm
+// before starting the backend's pool, so cache prebuild completes before
+// the shard is reported available and the first request already takes the
+// fast path.
 func (b *cpurefBackend) Warm(key *PrivateKey) error {
-	signer := spx.NewSigner(key)
+	if b.memoBytes > 0 {
+		b.cache = spx.NewTreeCache(key, b.memoBytes)
+		if b.memoWarm {
+			b.cache.Warm(b.threads)
+		}
+	}
+	signer, err := spx.NewSignerWithCache(key, b.cache)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	if _, err := signer.Sign([]byte("herosign-cpuref-warm"), nil); err != nil {
 		return err
@@ -56,13 +94,29 @@ func (b *cpurefBackend) Warm(key *PrivateKey) error {
 	return nil
 }
 
+// MemoStats implements MemoReporter; the second return is false when the
+// backend was built without memoization.
+func (b *cpurefBackend) MemoStats() (MemoStats, bool) {
+	if b.cache == nil {
+		return MemoStats{}, false
+	}
+	s := b.cache.Stats()
+	return MemoStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		WOTSHits: s.WOTSHits, WOTSFills: s.WOTSFills,
+		ResidentBytes: s.ResidentBytes, BudgetBytes: s.BudgetBytes,
+		PinnedLayers: s.PinnedLayers, Entries: s.Entries,
+		WarmedEntries: s.WarmedEntries,
+	}, true
+}
+
 func (b *cpurefBackend) RunBatch(ctx context.Context, key *PrivateKey, job *Job) (*BatchOutput, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	switch job.Kind {
 	case KindSign:
-		sigs, res, err := cpuref.SignBatch(key, job.Msgs, b.threads)
+		sigs, res, err := cpuref.SignBatchCached(key, job.Msgs, b.threads, b.cache)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"herosign/internal/spx"
+	"herosign/internal/spx/params"
+)
+
+// newMemoService builds a single-backend service on a memoized cpuref
+// backend, so every sign request flows through the shared TreeCache.
+func newMemoService(t *testing.T, memoBytes int64, warm bool) *Service {
+	t.Helper()
+	svc, err := New(
+		WithParams(params.SPHINCSPlus128f),
+		WithKey(testKey(t)),
+		WithBackends(NewCPURefBackendMemo(2, memoBytes, warm)),
+		WithFlushDeadline(2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestMemoWarmBeforeServing is the warm-ordering regression test: New must
+// not return until the backend's Warm — including the memo cache prebuild —
+// has completed, so the very first request hits the prebuilt pinned layers
+// instead of paying the cold tree builds.
+func TestMemoWarmBeforeServing(t *testing.T) {
+	svc := newMemoService(t, 4<<20, true)
+	defer svc.Close()
+
+	// Before any request: the cache was prebuilt during construction.
+	st := svc.Stats()
+	if len(st.Shards) != 1 {
+		t.Fatalf("shards = %d", len(st.Shards))
+	}
+	memo := st.Shards[0].Memo
+	if memo == nil {
+		t.Fatal("no memo stats on a memoized backend")
+	}
+	if memo.WarmedEntries == 0 {
+		t.Fatalf("cache not prebuilt before service became available: %+v", memo)
+	}
+	preWarmed := memo.WarmedEntries
+
+	// First request: the hypertree's upper layers are already resident, so
+	// the request must record cache hits without having missed on them.
+	sig, err := svc.Sign(context.Background(), []byte("first request"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spx.Verify(&testKey(t).PublicKey, []byte("first request"), sig); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Stats()
+	memo = st.Shards[0].Memo
+	if memo.Hits == 0 {
+		t.Fatalf("first post-warm request took the slow path: %+v", memo)
+	}
+	if memo.WarmedEntries != preWarmed {
+		t.Fatalf("serving changed warmed count: %d -> %d", preWarmed, memo.WarmedEntries)
+	}
+	// Warm-up signing happens before pools start too, so the backend device
+	// stats must agree with the shard rollup.
+	if len(st.Devices) != 1 || st.Devices[0].Memo == nil {
+		t.Fatalf("device memo stats missing: %+v", st.Devices)
+	}
+}
+
+// TestMemoStatsInHTTPStats: /v1/stats exposes the memo block per shard and
+// per device.
+func TestMemoStatsInHTTPStats(t *testing.T) {
+	svc := newMemoService(t, 4<<20, true)
+	defer svc.Close()
+
+	if _, err := svc.Sign(context.Background(), []byte("stats probe")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Shards []struct {
+			Memo *MemoStats `json:"memo"`
+		} `json:"shards"`
+		Devices []struct {
+			Backend string     `json:"backend"`
+			Memo    *MemoStats `json:"memo"`
+		} `json:"devices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Shards) != 1 || body.Shards[0].Memo == nil {
+		t.Fatalf("stats JSON missing shard memo block: %+v", body.Shards)
+	}
+	m := body.Shards[0].Memo
+	if m.BudgetBytes != 4<<20 || m.ResidentBytes == 0 || m.ResidentBytes > m.BudgetBytes {
+		t.Fatalf("memo residency out of range: %+v", m)
+	}
+	if len(body.Devices) != 1 || body.Devices[0].Memo == nil {
+		t.Fatalf("stats JSON missing device memo block: %+v", body.Devices)
+	}
+}
+
+// TestMemoOffHasNoStats: without a memo budget the backend reports no memo
+// block, keeping the stats payload unchanged for cache-free deployments.
+func TestMemoOffHasNoStats(t *testing.T) {
+	svc, err := New(
+		WithParams(params.SPHINCSPlus128f),
+		WithKey(testKey(t)),
+		WithBackends(NewCPURefBackend(2)),
+		WithFlushDeadline(2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	st := svc.Stats()
+	if st.Shards[0].Memo != nil || st.Devices[0].Memo != nil {
+		t.Fatal("memo stats present on a cache-free backend")
+	}
+}

@@ -31,6 +31,54 @@ type BackendStats struct {
 
 	// QueueDepth is messages dispatched to this pool but not completed.
 	QueueDepth int64 `json:"queue_depth"`
+
+	// Memo reports the backend's hypertree memoization cache, when it has
+	// one (see MemoReporter).
+	Memo *MemoStats `json:"memo,omitempty"`
+}
+
+// MemoStats reports one hypertree memoization cache: layer-level hit/miss
+// counters, residency against the byte budget, and how much of the pinned
+// plan Warm prebuilt. A hit means the subtree's node table was cached (auth
+// path and root were memcpys); a WOTS hit means the layer's one-time
+// signature slot matched too, making the whole layer hash-free.
+type MemoStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	WOTSHits  int64 `json:"wots_hits"`
+	WOTSFills int64 `json:"wots_fills"`
+
+	ResidentBytes int64 `json:"resident_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	PinnedLayers  int   `json:"pinned_layers"`
+	Entries       int   `json:"entries"`
+	WarmedEntries int64 `json:"warmed_entries"`
+}
+
+// add accumulates other into m for shard-level aggregation (gauges sum;
+// PinnedLayers keeps the maximum since caches may differ per backend).
+func (m *MemoStats) add(other *MemoStats) {
+	m.Hits += other.Hits
+	m.Misses += other.Misses
+	m.Evictions += other.Evictions
+	m.WOTSHits += other.WOTSHits
+	m.WOTSFills += other.WOTSFills
+	m.ResidentBytes += other.ResidentBytes
+	m.BudgetBytes += other.BudgetBytes
+	m.Entries += other.Entries
+	m.WarmedEntries += other.WarmedEntries
+	if other.PinnedLayers > m.PinnedLayers {
+		m.PinnedLayers = other.PinnedLayers
+	}
+}
+
+// MemoReporter is an optional Backend refinement: backends holding a
+// hypertree memoization cache expose its counters through it. The second
+// return is false when memoization is configured off, which keeps the
+// stats JSON free of all-zero memo blocks.
+type MemoReporter interface {
+	MemoStats() (MemoStats, bool)
 }
 
 // ShardStats reports one key domain's admission state.
@@ -52,6 +100,10 @@ type ShardStats struct {
 
 	// WeightSigsPerSec aggregates the shard's backend weights.
 	WeightSigsPerSec float64 `json:"weight_sigs_per_sec"`
+
+	// Memo aggregates the shard's backend memoization caches (nil when no
+	// backend in the shard memoizes).
+	Memo *MemoStats `json:"memo,omitempty"`
 }
 
 // RemoteLeafStats reports one remote leaf's health as seen by its
@@ -202,6 +254,16 @@ func (s *Service) Stats() Stats {
 			}
 			if hr, ok := p.backend.(RemoteHealthReporter); ok {
 				st.RemoteLeaves = append(st.RemoteLeaves, hr.RemoteHealth())
+			}
+			if mr, ok := p.backend.(MemoReporter); ok {
+				if ms, on := mr.MemoStats(); on {
+					msCopy := ms
+					st.Devices[len(st.Devices)-1].Memo = &msCopy
+					if ss.Memo == nil {
+						ss.Memo = &MemoStats{}
+					}
+					ss.Memo.add(&ms)
+				}
 			}
 		}
 		st.Shards = append(st.Shards, ss)
