@@ -10,11 +10,12 @@ vet:
 
 # The default test path runs vet first, mirroring the tier-1 gate, then
 # race-checks the packages whose workers share the lane-batch buffers and
-# queues (service fleet, simulated GPU engine, cpuref pools and the shared
-# hypertree memo cache).
+# queues (service fleet, simulated GPU engine, cpuref pools, the shared
+# hypertree memo cache, and the cross-signature batched verification
+# primitives in wots/fors/xmss/hypertree).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./service/... ./internal/gpu/... ./internal/cpuref/... ./internal/spx/treecache/... ./internal/spx/
+	$(GO) test -race ./service/... ./internal/gpu/... ./internal/cpuref/... ./internal/spx/treecache/... ./internal/spx/ ./internal/spx/wots/ ./internal/spx/fors/ ./internal/spx/xmss/ ./internal/spx/hypertree/
 
 # bench regenerates the paper evaluation as machine-readable JSON so the
 # perf trajectory can be tracked across PRs (BENCH_*.json).
@@ -24,9 +25,10 @@ bench: build
 
 # bench-short is the CI smoke lane: a fast subset covering a modeled table,
 # the tuner, and the wall-clock experiments (lane engine, admission control
-# under overload, hypertree memoization cold-vs-warm).
+# under overload, hypertree memoization cold-vs-warm, lane-batched
+# verification vs the scalar baseline).
 bench-short: build
-	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload,memo
+	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload,memo,verify
 
 # bench-compare regenerates BENCH_latest.json and diffs it against the
 # newest committed dated snapshot.

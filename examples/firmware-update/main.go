@@ -1,14 +1,23 @@
-// IoT firmware signing: hash-based signatures are a natural fit for
-// long-lived embedded deployments because their security rests only on the
-// hash function. This example signs a firmware image manifest with
-// SPHINCS+-256f (the conservative level-5 set), distributes the public key
-// to a simulated fleet of constrained verifiers, and demonstrates rollback
-// rejection — a stale manifest signed under a retired key fails.
+// IoT firmware verification fan-out: hash-based signatures are a natural
+// fit for long-lived embedded deployments because their security rests only
+// on the hash function — and their traffic is radically verify-dominant:
+// one vendor signature fans out to every device in the fleet. This example
+// signs a firmware manifest once on the build farm's simulated GPU, then
+// plays the device side at fleet scale: 100,000 verifications of the same
+// release, comparing the scalar one-shot path (herosign.Verify, a fresh
+// hashing context per call) against pooled reusable Verifiers that advance
+// eight signatures' hash chains per multi-lane pass. It finishes with the
+// classic rollback check — a stale manifest signed under a retired key must
+// not verify.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"sync"
+	"time"
 
 	"herosign"
 )
@@ -23,7 +32,12 @@ func (m manifest) encode() []byte {
 }
 
 func main() {
-	p := herosign.SPHINCSPlus256f
+	fleet := flag.Int("fleet", 100_000, "device verifications to run through the lane-batched path")
+	flag.Parse()
+
+	// The f-sets trade signature size for speed; constrained verifiers care
+	// about per-update latency, so the fleet runs the fast level-1 set.
+	p := herosign.SPHINCSPlus128f
 
 	// Vendor side: current signing key and a retired one.
 	current, err := herosign.GenerateKey(p)
@@ -40,9 +54,9 @@ func main() {
 		img[i] = byte(i * 31)
 	}
 	release := manifest{version: "2.4.1", image: img}
+	payload := release.encode()
 
-	// Sign the release on the build farm's simulated GPU: 256f triggers the
-	// Relax-FORS model automatically.
+	// Sign the release once on the build farm's simulated GPU.
 	gpu, err := herosign.GPUByName("A100")
 	if err != nil {
 		log.Fatal(err)
@@ -51,23 +65,70 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := acc.SignBatch(current, [][]byte{release.encode()})
+	res, err := acc.SignBatch(current, [][]byte{payload})
 	if err != nil {
 		log.Fatal(err)
 	}
 	sig := res.Sigs[0]
 	fmt.Printf("signed firmware %s with %s on simulated %s (sig %d bytes)\n",
 		release.version, p.Name, gpu.Name, len(sig))
-	if t := acc.Tuning(); t != nil {
-		fmt.Printf("  FORS tuning: %s\n", t)
-	}
 
-	// Device side: verify with the distributed public key (pure CPU path —
-	// verification is cheap and runs on the constrained device).
-	if err := herosign.Verify(&current.PublicKey, release.encode(), sig); err != nil {
-		log.Fatal("fleet verification failed: ", err)
+	// Device side, scalar baseline: the one-shot path allocates and warms a
+	// fresh hashing context per call. A sample of the fleet is enough to
+	// establish its rate.
+	sample := *fleet / 20
+	if sample < 1 {
+		sample = 1
 	}
-	fmt.Println("fleet verifier: firmware signature OK, applying update")
+	start := time.Now()
+	for i := 0; i < sample; i++ {
+		if err := herosign.Verify(&current.PublicKey, payload, sig); err != nil {
+			log.Fatal("fleet verification failed: ", err)
+		}
+	}
+	scalarRate := float64(sample) / time.Since(start).Seconds()
+	fmt.Printf("scalar one-shot path:  %8.1f verifies/s (%d-device sample)\n", scalarRate, sample)
+
+	// Device side, fleet scale: every device checks the same release. One
+	// reusable Verifier per worker; VerifyBatch pools the WOTS chain steps
+	// and Merkle climbs of up to eight signatures into each multi-lane hash
+	// pass and allocates nothing in steady state.
+	msgs := make([][]byte, *fleet)
+	sigs := make([][]byte, *fleet)
+	for i := range msgs {
+		msgs[i] = payload
+		sigs[i] = sig
+	}
+	ok := make([]bool, *fleet)
+	workers := runtime.GOMAXPROCS(0)
+	span := (*fleet + workers - 1) / workers
+	start = time.Now()
+	var wg sync.WaitGroup
+	for lo := 0; lo < *fleet; lo += span {
+		hi := lo + span
+		if hi > *fleet {
+			hi = *fleet
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			v := herosign.NewVerifier(&current.PublicKey)
+			v.VerifyBatch(ok[lo:hi], msgs[lo:hi], sigs[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	laneRate := float64(*fleet) / time.Since(start).Seconds()
+	for i, o := range ok {
+		if !o {
+			log.Fatalf("device %d rejected a valid release", i)
+		}
+	}
+	fmt.Printf("lane-batched verifiers: %8.1f verifies/s (%d devices, %d workers)  %.2fx\n",
+		laneRate, *fleet, workers, laneRate/scalarRate)
+	if laneRate < scalarRate {
+		log.Fatal("lane-batched fan-out fell below the scalar baseline")
+	}
+	fmt.Println("fleet: firmware signature OK everywhere, applying update")
 
 	// Rollback attempt: an old manifest signed under the retired key must
 	// not verify against the current public key.

@@ -120,6 +120,16 @@ func Sign(sk *PrivateKey, msg []byte) ([]byte, error) { return spx.Sign(sk, msg,
 // Verify checks a SPHINCS+ signature. It returns nil for a valid signature.
 func Verify(pk *PublicKey, msg, sig []byte) error { return spx.Verify(pk, msg, sig) }
 
+// Verifier is a reusable verification context for one public key: the
+// hashing arenas are warmed at construction, after which Verify and
+// VerifyBatch run with zero steady-state allocations, and VerifyBatch
+// advances up to eight signatures' hash chains per multi-lane pass. A
+// Verifier is not safe for concurrent use; pool one per worker.
+type Verifier = spx.Verifier
+
+// NewVerifier returns a reusable Verifier bound to pk.
+func NewVerifier(pk *PublicKey) *Verifier { return spx.NewVerifier(pk) }
+
 // GPU describes one simulated device model.
 type GPU = device.Device
 

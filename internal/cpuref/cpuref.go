@@ -51,6 +51,11 @@ func SignBatch(sk *spx.PrivateKey, msgs [][]byte, threads int) ([][]byte, *Resul
 // memoization cache for the key (nil cache selects the plain path).
 // Signatures are byte-identical with and without the cache.
 func SignBatchCached(sk *spx.PrivateKey, msgs [][]byte, threads int, cache *spx.TreeCache) ([][]byte, *Result, error) {
+	if len(msgs) == 0 {
+		// Avoid clamping threads to zero (no workers would ever run) and a
+		// 0/0 KOPS division: an empty batch is a zeroed result, not NaN.
+		return [][]byte{}, &Result{Params: sk.Params}, nil
+	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -100,10 +105,22 @@ func SignBatchCached(sk *spx.PrivateKey, msgs [][]byte, threads int, cache *spx.
 // VerifyBatch checks msgs[i] against sigs[i] with `threads` worker
 // goroutines (threads <= 0 selects GOMAXPROCS). A malformed or forged
 // signature yields ok[i] == false; only infrastructure failures return an
-// error.
+// error. Each worker holds one reusable spx.Verifier over a contiguous
+// sub-batch, so the hash work of up to sha2.Lanes signatures shares
+// multi-lane compression passes; verdicts are identical to the scalar path.
 func VerifyBatch(pk *spx.PublicKey, msgs, sigs [][]byte, threads int) ([]bool, *Result, error) {
+	return NewBatchVerifier(pk).VerifyBatch(msgs, sigs, threads)
+}
+
+// VerifyBatchScalar is the strided per-signature reference path (one
+// spx.Verify call per pair, no cross-signature lane batching). It is kept
+// as the correctness and throughput baseline for VerifyBatch.
+func VerifyBatchScalar(pk *spx.PublicKey, msgs, sigs [][]byte, threads int) ([]bool, *Result, error) {
 	if len(msgs) != len(sigs) {
 		return nil, nil, fmt.Errorf("cpuref: %d messages but %d signatures", len(msgs), len(sigs))
+	}
+	if len(msgs) == 0 {
+		return []bool{}, &Result{Params: pk.Params}, nil
 	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -135,6 +152,85 @@ func VerifyBatch(pk *spx.PublicKey, msgs, sigs [][]byte, threads int) ([]bool, *
 	return ok, res, nil
 }
 
+// BatchVerifier pools reusable spx.Verifier contexts for one public key so
+// repeated VerifyBatch calls — the service steady state — hand every worker
+// a warm context instead of rebuilding arenas per request. Safe for
+// concurrent use.
+type BatchVerifier struct {
+	pk   *spx.PublicKey
+	mu   sync.Mutex
+	free []*spx.Verifier
+}
+
+// NewBatchVerifier builds an empty pool for pk; verifier contexts are
+// created on first use and retained afterwards.
+func NewBatchVerifier(pk *spx.PublicKey) *BatchVerifier {
+	return &BatchVerifier{pk: pk}
+}
+
+func (bv *BatchVerifier) get() *spx.Verifier {
+	bv.mu.Lock()
+	if n := len(bv.free); n > 0 {
+		v := bv.free[n-1]
+		bv.free = bv.free[:n-1]
+		bv.mu.Unlock()
+		return v
+	}
+	bv.mu.Unlock()
+	return spx.NewVerifier(bv.pk)
+}
+
+func (bv *BatchVerifier) put(v *spx.Verifier) {
+	bv.mu.Lock()
+	bv.free = append(bv.free, v)
+	bv.mu.Unlock()
+}
+
+// VerifyBatch checks msgs[i] against sigs[i] with `threads` workers, each
+// holding a pooled spx.Verifier over a contiguous sub-batch so lane groups
+// form across neighbouring signatures.
+func (bv *BatchVerifier) VerifyBatch(msgs, sigs [][]byte, threads int) ([]bool, *Result, error) {
+	if len(msgs) != len(sigs) {
+		return nil, nil, fmt.Errorf("cpuref: %d messages but %d signatures", len(msgs), len(sigs))
+	}
+	if len(msgs) == 0 {
+		return []bool{}, &Result{Params: bv.pk.Params}, nil
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(msgs) {
+		threads = len(msgs)
+	}
+	ok := make([]bool, len(msgs))
+	span := (len(msgs) + threads - 1) / threads
+	var wg sync.WaitGroup
+	start := time.Now()
+	for lo := 0; lo < len(msgs); lo += span {
+		hi := lo + span
+		if hi > len(msgs) {
+			hi = len(msgs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			v := bv.get()
+			v.VerifyBatch(ok[lo:hi], msgs[lo:hi], sigs[lo:hi])
+			bv.put(v)
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := &Result{
+		Params:   bv.pk.Params,
+		Threads:  threads,
+		Messages: len(msgs),
+		Elapsed:  elapsed,
+		KOPS:     float64(len(msgs)) / elapsed.Seconds() / 1000,
+	}
+	return ok, res, nil
+}
+
 // KeyGenBatch derives one key pair per seed triple with `threads` worker
 // goroutines. Keys are byte-identical to spx.KeyFromSeeds.
 func KeyGenBatch(p *params.Params, skSeeds, skPRFs, pkSeeds [][]byte, threads int) ([]*spx.PrivateKey, *Result, error) {
@@ -142,6 +238,9 @@ func KeyGenBatch(p *params.Params, skSeeds, skPRFs, pkSeeds [][]byte, threads in
 	if len(skPRFs) != n || len(pkSeeds) != n {
 		return nil, nil, fmt.Errorf("cpuref: seed component counts differ: %d/%d/%d",
 			len(skSeeds), len(skPRFs), len(pkSeeds))
+	}
+	if n == 0 {
+		return []*spx.PrivateKey{}, &Result{Params: p}, nil
 	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)

@@ -58,34 +58,50 @@ func HMAC512(key, msg []byte) [Size512]byte {
 // (RFC 8017 §B.2.1). SPHINCS+ uses it inside H_msg to stretch the message
 // digest to the index/FORS bit string.
 func MGF1_256(seed []byte, outLen int) []byte {
-	out := make([]byte, 0, outLen)
+	out := make([]byte, outLen)
+	MGF1_256Into(out, seed)
+	return out
+}
+
+// MGF1_256Into fills dst with MGF1-SHA-256 output of seed without
+// allocating — the hasher lives on the stack and each counter block's
+// digest lands in a stack buffer before being copied into dst.
+func MGF1_256Into(dst, seed []byte) {
+	var d Hash256
 	var ctr [4]byte
-	for i := uint32(0); len(out) < outLen; i++ {
+	var tmp [Size256]byte
+	for i, off := uint32(0), 0; off < len(dst); i++ {
 		ctr[0] = byte(i >> 24)
 		ctr[1] = byte(i >> 16)
 		ctr[2] = byte(i >> 8)
 		ctr[3] = byte(i)
-		h := New256()
-		h.Write(seed)
-		h.Write(ctr[:])
-		out = h.Sum(out)
+		d.Reset()
+		d.Write(seed)
+		d.Write(ctr[:])
+		off += copy(dst[off:], d.Sum(tmp[:0]))
 	}
-	return out[:outLen]
 }
 
 // MGF1_512 is MGF1 instantiated with SHA-512.
 func MGF1_512(seed []byte, outLen int) []byte {
-	out := make([]byte, 0, outLen)
+	out := make([]byte, outLen)
+	MGF1_512Into(out, seed)
+	return out
+}
+
+// MGF1_512Into is MGF1_256Into instantiated with SHA-512.
+func MGF1_512Into(dst, seed []byte) {
+	var d Hash512
 	var ctr [4]byte
-	for i := uint32(0); len(out) < outLen; i++ {
+	var tmp [Size512]byte
+	for i, off := uint32(0), 0; off < len(dst); i++ {
 		ctr[0] = byte(i >> 24)
 		ctr[1] = byte(i >> 16)
 		ctr[2] = byte(i >> 8)
 		ctr[3] = byte(i)
-		h := New512()
-		h.Write(seed)
-		h.Write(ctr[:])
-		out = h.Sum(out)
+		d.Reset()
+		d.Write(seed)
+		d.Write(ctr[:])
+		off += copy(dst[off:], d.Sum(tmp[:0]))
 	}
-	return out[:outLen]
 }

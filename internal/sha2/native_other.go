@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package sha2
+
+// Non-amd64 platforms have no native kernel; the probe keeps the portable
+// (or stdlib-accelerated) backends selected. The kernel stubs are functional
+// so that callers need no build-tag awareness, but they are unreachable
+// while nativeProbe reports false.
+
+func nativeProbe() bool { return false }
+
+func sha256ni(state *State256, block *[BlockSize256]byte) {
+	compress256(state, block[:])
+}
+
+func sha256ni2(s0, s1 *State256, b0, b1 *[BlockSize256]byte) {
+	compress256(s0, b0[:])
+	compress256(s1, b1[:])
+}

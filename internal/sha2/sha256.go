@@ -71,12 +71,12 @@ func (d *Hash256) Write(p []byte) (int, error) {
 		d.n += c
 		p = p[c:]
 		if d.n == BlockSize256 {
-			compress256(&d.h, d.buf[:])
+			Compress256(&d.h, &d.buf)
 			d.n = 0
 		}
 	}
 	for len(p) >= BlockSize256 {
-		compress256(&d.h, p[:BlockSize256])
+		Compress256(&d.h, (*[BlockSize256]byte)(p))
 		p = p[BlockSize256:]
 	}
 	if len(p) > 0 {

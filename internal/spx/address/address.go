@@ -117,9 +117,16 @@ func (a *Address) CopyKeyPair(src *Address) {
 // layer (1 byte) || tree (8 bytes) || type (1 byte) || words 5..7 (12 bytes).
 func (a *Address) Compressed() [CompressedSize]byte {
 	var c [CompressedSize]byte
-	c[0] = a[3]           // low byte of layer
-	copy(c[1:9], a[8:16]) // low 8 bytes of tree
-	c[9] = a[19]          // low byte of type
-	copy(c[10:22], a[20:32])
+	a.CompressedInto(c[:])
 	return c
+}
+
+// CompressedInto writes the compressed form directly into dst (at least
+// CompressedSize bytes), letting hot paths stage addresses into hash blocks
+// without an intermediate copy.
+func (a *Address) CompressedInto(dst []byte) {
+	dst[0] = a[3]           // low byte of layer
+	copy(dst[1:9], a[8:16]) // low 8 bytes of tree
+	dst[9] = a[19]          // low byte of type
+	copy(dst[10:22], a[20:32])
 }

@@ -1,0 +1,60 @@
+package fors
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/sha2"
+	"herosign/internal/spx/address"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// TestPKFromSigBatchMatchesScalar: the cross-signature batched recovery
+// must reproduce byte-identical public keys for every batch size, including
+// the full-lane case and a single signature.
+func TestPKFromSigBatchMatchesScalar(t *testing.T) {
+	for _, p := range params.FastSets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			pkSeed := make([]byte, p.N)
+			skSeed := make([]byte, p.N)
+			for i := range pkSeed {
+				pkSeed[i] = byte(i*3 + 1)
+				skSeed[i] = byte(i*5 + 2)
+			}
+			ctx := hashes.NewCtx(p, pkSeed, skSeed)
+
+			var sigs, mds [sha2.Lanes][]byte
+			var adrs [sha2.Lanes]address.Address
+			signedPK := make([]byte, sha2.Lanes*p.N)
+			for j := 0; j < sha2.Lanes; j++ {
+				md := make([]byte, p.ForsMsgBytes)
+				for i := range md {
+					md[i] = byte(j*31 + i*7 + 3)
+				}
+				mds[j] = md
+				adrs[j].SetLayer(0)
+				adrs[j].SetTree(uint64(j * 5))
+				adrs[j].SetType(address.FORSTree)
+				adrs[j].SetKeyPair(uint32(j))
+				sigs[j] = make([]byte, p.ForsBytes)
+				copy(signedPK[j*p.N:(j+1)*p.N], Sign(ctx, sigs[j], md, &adrs[j]))
+			}
+
+			for _, b := range []int{1, 3, sha2.Lanes} {
+				pks := make([]byte, b*p.N)
+				PKFromSigBatch(ctx, b, pks, &sigs, &mds, &adrs)
+				for j := 0; j < b; j++ {
+					want := PKFromSig(ctx, sigs[j], mds[j], &adrs[j])
+					if !bytes.Equal(pks[j*p.N:(j+1)*p.N], want) {
+						t.Fatalf("b=%d sig %d: batch pk differs from scalar", b, j)
+					}
+					if !bytes.Equal(want, signedPK[j*p.N:(j+1)*p.N]) {
+						t.Fatalf("b=%d sig %d: recovered pk differs from signing", b, j)
+					}
+				}
+			}
+		})
+	}
+}

@@ -145,6 +145,14 @@ func Sign(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
 // The k per-tree authentication paths climb level-synchronously in
 // multi-lane passes.
 func PKFromSig(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
+	pk := make([]byte, ctx.P.N)
+	PKFromSigInto(ctx, pk, sig, md, adrs)
+	return pk
+}
+
+// PKFromSigInto is PKFromSig writing the recovered public key into pk
+// (N bytes) without allocating.
+func PKFromSigInto(ctx *hashes.Ctx, pk, sig, md []byte, adrs *address.Address) {
 	p := ctx.P
 	indices := hashes.MessageToIndicesInto(p, ctx.IndicesBuf(), md)
 	roots := ctx.ForsRootsBuf()
@@ -204,18 +212,111 @@ func PKFromSig(ctx *hashes.Ctx, sig, md []byte, adrs *address.Address) []byte {
 			ctx.HLanes(count, &outs, &lefts, &rights, &lanes)
 		}
 	}
-	return compressRoots(ctx, roots, adrs)
+	compressRootsInto(ctx, pk, roots, adrs)
+}
+
+// PKFromSigBatch recomputes b FORS public keys at once, pooling the leaf F
+// evaluations and every climb level's H calls across all b*K trees so lane
+// passes stay full even where a single signature's K is not a lane multiple.
+// pks receives b N-byte public keys back to back; sigs[j] holds signature
+// j's ForsBytes, mds[j] its ForsMsgBytes message digest, and adrs[j] its
+// key-pair addressing. Outputs are byte-identical to b scalar PKFromSig
+// calls.
+func PKFromSigBatch(ctx *hashes.Ctx, b int, pks []byte, sigs, mds *[sha2.Lanes][]byte, adrs *[sha2.Lanes]address.Address) {
+	p := ctx.P
+	indices := ctx.IndicesBatchBuf(b)
+	roots := ctx.ForsRootsBatchBuf(b)
+	itemBytes := (p.LogT + 1) * p.N
+	for j := 0; j < b; j++ {
+		hashes.MessageToIndicesInto(p, indices[j*p.K:(j+1)*p.K], mds[j])
+	}
+
+	total := b * p.K
+	var outs, lefts, rights [sha2.Lanes][]byte
+	var lanes [sha2.Lanes]address.Address
+
+	// Per-signature template addresses, built once: the pooled loops below
+	// then pay a struct copy plus the height/index words per lane instead
+	// of re-deriving the key-pair prefix and re-zeroing the type words.
+	var tpl [sha2.Lanes]address.Address
+	for j := 0; j < b; j++ {
+		tpl[j].CopyKeyPair(&adrs[j])
+		tpl[j].SetType(address.FORSTree)
+		tpl[j].SetKeyPair(adrs[j].KeyPair())
+	}
+
+	// Leaves from the revealed secret values, pooled across signatures.
+	count := 0
+	for g := 0; g < total; g++ {
+		j, i := g/p.K, g%p.K
+		item := sigs[j][i*itemBytes : (i+1)*itemBytes]
+		outs[count] = roots[g*p.N : (g+1)*p.N]
+		lefts[count] = item[:p.N]
+		lanes[count] = tpl[j]
+		lanes[count].SetTreeHeight(0)
+		lanes[count].SetTreeIndex(uint32(i)*uint32(p.T) + indices[g])
+		count++
+		if count == sha2.Lanes {
+			ctx.FLanes(count, &outs, &lefts, &lanes)
+			count = 0
+		}
+	}
+	if count > 0 {
+		ctx.FLanes(count, &outs, &lefts, &lanes)
+	}
+
+	// Climb all b*K authentication paths level-synchronously: within a level
+	// every tree's node is independent, so lane groups span tree and
+	// signature boundaries; only the level boundary forces a flush.
+	for h := 0; h < p.LogT; h++ {
+		count = 0
+		for g := 0; g < total; g++ {
+			j, i := g/p.K, g%p.K
+			item := sigs[j][i*itemBytes : (i+1)*itemBytes]
+			node := roots[g*p.N : (g+1)*p.N]
+			authNode := item[(1+h)*p.N : (2+h)*p.N]
+			idx := indices[g] >> uint(h)
+			offset := (uint32(i) * uint32(p.T)) >> uint(h+1)
+			outs[count] = node
+			if idx&1 == 0 {
+				lefts[count] = node
+				rights[count] = authNode
+			} else {
+				lefts[count] = authNode
+				rights[count] = node
+			}
+			lanes[count] = tpl[j]
+			lanes[count].SetTreeHeight(uint32(h + 1))
+			lanes[count].SetTreeIndex(offset + idx>>1)
+			count++
+			if count == sha2.Lanes {
+				ctx.HLanes(count, &outs, &lefts, &rights, &lanes)
+				count = 0
+			}
+		}
+		if count > 0 {
+			ctx.HLanes(count, &outs, &lefts, &rights, &lanes)
+		}
+	}
+
+	for j := 0; j < b; j++ {
+		compressRootsInto(ctx, pks[j*p.N:(j+1)*p.N], roots[j*p.K*p.N:(j+1)*p.K*p.N], &adrs[j])
+	}
 }
 
 // compressRoots applies T_k over the concatenated roots with the FORSRoots
 // address type (one small N-byte allocation per signature).
 func compressRoots(ctx *hashes.Ctx, roots []byte, adrs *address.Address) []byte {
-	p := ctx.P
+	pk := make([]byte, ctx.P.N)
+	compressRootsInto(ctx, pk, roots, adrs)
+	return pk
+}
+
+// compressRootsInto is compressRoots writing into a caller buffer.
+func compressRootsInto(ctx *hashes.Ctx, pk, roots []byte, adrs *address.Address) {
 	var rootsAdrs address.Address
 	rootsAdrs.CopyKeyPair(adrs)
 	rootsAdrs.SetType(address.FORSRoots)
 	rootsAdrs.SetKeyPair(adrs.KeyPair())
-	pk := make([]byte, p.N)
 	ctx.Thash(pk, roots, &rootsAdrs)
-	return pk
 }

@@ -80,6 +80,7 @@ type Ctx struct {
 	laneStates [sha2.Lanes]sha2.State256
 	laneBlk    [sha2.Lanes][sha2.BlockSize256]byte
 	laneBlk2   [sha2.Lanes][sha2.BlockSize256]byte
+	laneShape  [sha2.Lanes]int32           // staged single-block msgLen per lane; -1 = stale padding
 	laneAdrs   [sha2.Lanes]address.Address // HReduceLevel staging (a stack
 	// array would escape through the opaque setAdrs callback)
 
@@ -92,6 +93,14 @@ type Ctx struct {
 	forsLevel []byte
 	forsRoots []byte
 	xmssLevel []byte
+	xmssNode  []byte
+
+	// Batch arenas for the cross-signature verification path: the same
+	// shapes as above, but sized for up to sha2.Lanes signatures at once.
+	wotsPKBatch    []byte
+	lengthsBatch   []uint32
+	indicesBatch   []uint32
+	forsRootsBatch []byte
 }
 
 // NewCtx builds a hash context. skSeed may be nil when only public
@@ -132,6 +141,11 @@ func (c *Ctx) Clone(counter *Counters) *Ctx {
 	dup.forsLevel = nil
 	dup.forsRoots = nil
 	dup.xmssLevel = nil
+	dup.xmssNode = nil
+	dup.wotsPKBatch = nil
+	dup.lengthsBatch = nil
+	dup.indicesBatch = nil
+	dup.forsRootsBatch = nil
 	return &dup
 }
 
@@ -177,6 +191,58 @@ func (c *Ctx) ForsRootsBuf() []byte {
 		c.forsRoots = make([]byte, c.P.K*c.P.N)
 	}
 	return c.forsRoots[:c.P.K*c.P.N]
+}
+
+// WOTSPKBatchBuf returns a b*WOTSBytes chain-end buffer for b signatures
+// verified in one cross-signature batch (b <= sha2.Lanes). Like the scalar
+// arenas it is valid until the next call that borrows it; capacity is
+// always sized for sha2.Lanes so a varying batch size never reallocates.
+func (c *Ctx) WOTSPKBatchBuf(b int) []byte {
+	want := sha2.Lanes * c.P.WOTSBytes
+	if cap(c.wotsPKBatch) < want {
+		c.wotsPKBatch = make([]byte, want)
+	}
+	return c.wotsPKBatch[:b*c.P.WOTSBytes]
+}
+
+// WOTSLengthsBatchBuf returns a b*WOTSLen chain-start buffer for b
+// signatures (b <= sha2.Lanes).
+func (c *Ctx) WOTSLengthsBatchBuf(b int) []uint32 {
+	want := sha2.Lanes * c.P.WOTSLen
+	if cap(c.lengthsBatch) < want {
+		c.lengthsBatch = make([]uint32, want)
+	}
+	return c.lengthsBatch[:b*c.P.WOTSLen]
+}
+
+// IndicesBatchBuf returns a b*K FORS index buffer for b signatures
+// (b <= sha2.Lanes).
+func (c *Ctx) IndicesBatchBuf(b int) []uint32 {
+	want := sha2.Lanes * c.P.K
+	if cap(c.indicesBatch) < want {
+		c.indicesBatch = make([]uint32, want)
+	}
+	return c.indicesBatch[:b*c.P.K]
+}
+
+// ForsRootsBatchBuf returns a b*K*N FORS root buffer for b signatures
+// (b <= sha2.Lanes).
+func (c *Ctx) ForsRootsBatchBuf(b int) []byte {
+	want := sha2.Lanes * c.P.K * c.P.N
+	if cap(c.forsRootsBatch) < want {
+		c.forsRootsBatch = make([]byte, want)
+	}
+	return c.forsRootsBatch[:b*c.P.K*c.P.N]
+}
+
+// XMSSNodeBuf returns an N-byte node scratch for the XMSS auth-path climb.
+// A stack node would escape per call: the scalar H routes its inputs
+// through the engine's interface-backed Write.
+func (c *Ctx) XMSSNodeBuf() []byte {
+	if cap(c.xmssNode) < c.P.N {
+		c.xmssNode = make([]byte, c.P.N)
+	}
+	return c.xmssNode[:c.P.N]
 }
 
 // XMSSLevelBuf returns the 2^TreeHeight*N-byte XMSS leaf-level buffer.
@@ -314,25 +380,34 @@ func (c *Ctx) thashLanes(count int, outs, in1, in2 *[sha2.Lanes][]byte, adrs *[s
 		blocks = 2
 	}
 	bitLen := uint64(sha2.BlockSize256+msgLen) * 8
+	// On the native backend the padding suffix (0x80, zero run, bit length)
+	// of a single-block lane survives between passes of the same shape, so
+	// it is rewritten only when the staged length changes. The portable
+	// wide kernels pad ragged groups by copying lane 0's block over idle
+	// lanes, which silently restyles those blocks — there the cache is
+	// unsound, so every portable pass invalidates it.
+	skipPad := sha2.Native()
 	for i := 0; i < count; i++ {
-		comp := adrs[i].Compressed()
 		first := &c.laneBlk[i]
-		off := copy(first[:], comp[:])
 		if blocks == 1 {
-			off += copy(first[off:], in1[i])
+			adrs[i].CompressedInto(first[:])
+			off := address.CompressedSize + copy(first[address.CompressedSize:], in1[i])
 			if in2 != nil {
 				off += copy(first[off:], in2[i])
 			}
-			first[off] = 0x80
-			for j := off + 1; j < sha2.BlockSize256-8; j++ {
-				first[j] = 0
+			if !skipPad || c.laneShape[i] != int32(msgLen) {
+				first[off] = 0x80
+				for j := off + 1; j < sha2.BlockSize256-8; j++ {
+					first[j] = 0
+				}
+				binary.BigEndian.PutUint64(first[sha2.BlockSize256-8:], bitLen)
+				c.laneShape[i] = int32(msgLen)
 			}
-			binary.BigEndian.PutUint64(first[sha2.BlockSize256-8:], bitLen)
 		} else {
 			second := &c.laneBlk2[i]
 			var msg [2 * sha2.BlockSize256]byte
-			moff := copy(msg[:], comp[:])
-			moff += copy(msg[moff:], in1[i])
+			adrs[i].CompressedInto(msg[:])
+			moff := address.CompressedSize + copy(msg[address.CompressedSize:], in1[i])
 			if in2 != nil {
 				moff += copy(msg[moff:], in2[i])
 			}
@@ -340,38 +415,21 @@ func (c *Ctx) thashLanes(count int, outs, in1, in2 *[sha2.Lanes][]byte, adrs *[s
 			binary.BigEndian.PutUint64(msg[2*sha2.BlockSize256-8:], bitLen)
 			copy(first[:], msg[:sha2.BlockSize256])
 			copy(second[:], msg[sha2.BlockSize256:])
+			c.laneShape[i] = -1
 		}
 		c.laneStates[i] = c.seeded
 	}
-	c.compressLanes(count, &c.laneBlk)
+	if !skipPad {
+		for i := range c.laneShape {
+			c.laneShape[i] = -1
+		}
+	}
+	sha2.Compress256Lanes(count, &c.laneStates, &c.laneBlk)
 	if blocks == 2 {
-		c.compressLanes(count, &c.laneBlk2)
+		sha2.Compress256Lanes(count, &c.laneStates, &c.laneBlk2)
 	}
 	for i := 0; i < count; i++ {
 		sha2.PutDigest256(outs[i][:n], &c.laneStates[i])
-	}
-}
-
-// compressLanes advances the first count lane states by one block, picking
-// the widest kernel the live lane count justifies.
-func (c *Ctx) compressLanes(count int, blks *[sha2.Lanes][sha2.BlockSize256]byte) {
-	switch {
-	case count > 4:
-		// Idle lanes recompute lane 0's block into a scratch state; the
-		// interleaved kernel needs a full complement of lanes.
-		for i := count; i < sha2.Lanes; i++ {
-			c.laneStates[i] = c.laneStates[0]
-			blks[i] = blks[0]
-		}
-		sha2.Compress256x8(&c.laneStates, blks)
-	case count > 1:
-		for i := count; i < 4; i++ {
-			c.laneStates[i] = c.laneStates[0]
-			blks[i] = blks[0]
-		}
-		sha2.Compress256x4((*[4]sha2.State256)(c.laneStates[:4]), (*[4][sha2.BlockSize256]byte)(blks[:4]))
-	default:
-		sha2.Compress256(&c.laneStates[0], &blks[0])
 	}
 }
 
@@ -463,26 +521,38 @@ func PRFMsg(p *params.Params, skPRF, optRand, msg []byte) []byte {
 // HMsg computes the (MDBytes + TreeIdxBytes + LeafIdxBytes)-byte message
 // digest from the randomizer, public key and message.
 func HMsg(p *params.Params, r, pkSeed, pkRoot, msg []byte) []byte {
-	inner := make([]byte, 0, 3*p.N+len(msg))
-	inner = append(inner, r...)
-	inner = append(inner, pkSeed...)
-	inner = append(inner, pkRoot...)
-	inner = append(inner, msg...)
+	return HMsgInto(p, make([]byte, p.DigestBytes), r, pkSeed, pkRoot, msg)
+}
+
+// HMsgInto is HMsg writing into dst (length >= DigestBytes) without
+// allocating: the inner hash streams r || pkSeed || pkRoot || msg through a
+// stack hasher and the MGF1 seed (r || pkSeed || inner digest, at most
+// 2*32+64 bytes) is staged in a stack buffer. Returns dst[:DigestBytes].
+func HMsgInto(p *params.Params, dst []byte, r, pkSeed, pkRoot, msg []byte) []byte {
+	var seed [2*32 + sha2.Size512]byte // N <= 32; SHA-512 has the wider digest
+	off := copy(seed[:], r[:p.N])
+	off += copy(seed[off:], pkSeed)
 
 	if p.UsesSHA512Msg() {
-		ih := sha2.Sum512(inner)
-		seed := make([]byte, 0, 2*p.N+sha2.Size512)
-		seed = append(seed, r...)
-		seed = append(seed, pkSeed...)
-		seed = append(seed, ih[:]...)
-		return sha2.MGF1_512(seed, p.DigestBytes)
+		var d sha2.Hash512
+		d.Reset()
+		d.Write(r[:p.N])
+		d.Write(pkSeed)
+		d.Write(pkRoot)
+		d.Write(msg)
+		off += len(d.Sum(seed[off:off])) // appends in place: capacity is seed's tail
+		sha2.MGF1_512Into(dst[:p.DigestBytes], seed[:off])
+		return dst[:p.DigestBytes]
 	}
-	ih := sha2.Sum256(inner)
-	seed := make([]byte, 0, 2*p.N+sha2.Size256)
-	seed = append(seed, r...)
-	seed = append(seed, pkSeed...)
-	seed = append(seed, ih[:]...)
-	return sha2.MGF1_256(seed, p.DigestBytes)
+	var d sha2.Hash256
+	d.Reset()
+	d.Write(r[:p.N])
+	d.Write(pkSeed)
+	d.Write(pkRoot)
+	d.Write(msg)
+	off += len(d.Sum(seed[off:off])) // appends in place: capacity is seed's tail
+	sha2.MGF1_256Into(dst[:p.DigestBytes], seed[:off])
+	return dst[:p.DigestBytes]
 }
 
 // SplitDigest splits an H_msg digest into the FORS message md, the hypertree

@@ -1,0 +1,51 @@
+package hypertree
+
+import (
+	"bytes"
+	"testing"
+
+	"herosign/internal/sha2"
+	"herosign/internal/spx/hashes"
+	"herosign/internal/spx/params"
+)
+
+// TestPKFromSigBatchMatchesScalar: the layer-synchronous batched hypertree
+// recovery must reproduce byte-identical roots for ragged and full batches,
+// with signatures taking distinct (treeIdx, leafIdx) paths.
+func TestPKFromSigBatchMatchesScalar(t *testing.T) {
+	p := params.SPHINCSPlus128f
+	pkSeed := make([]byte, p.N)
+	skSeed := make([]byte, p.N)
+	for i := range pkSeed {
+		pkSeed[i] = byte(i*7 + 4)
+		skSeed[i] = byte(i*11 + 6)
+	}
+	ctx := hashes.NewCtx(p, pkSeed, skSeed)
+
+	var sigs [sha2.Lanes][]byte
+	var treeIdxs [sha2.Lanes]uint64
+	var leafIdxs [sha2.Lanes]uint32
+	msgs := make([]byte, sha2.Lanes*p.N)
+	for j := 0; j < sha2.Lanes; j++ {
+		for i := 0; i < p.N; i++ {
+			msgs[j*p.N+i] = byte(j*13 + i*3 + 9)
+		}
+		treeIdxs[j] = uint64(j) * 0x9e3779b97f4a7c15 >> (64 - uint(p.H-p.TreeHeight))
+		leafIdxs[j] = uint32(j*5) % (1 << uint(p.TreeHeight))
+		sigs[j] = make([]byte, p.D*p.XMSSBytes)
+		Sign(ctx, nil, sigs[j], msgs[j*p.N:(j+1)*p.N], treeIdxs[j], leafIdxs[j])
+	}
+
+	for _, b := range []int{1, 5, sha2.Lanes} {
+		roots := make([]byte, b*p.N)
+		copy(roots, msgs[:b*p.N])
+		PKFromSigBatch(ctx, b, roots, &sigs, &treeIdxs, &leafIdxs)
+		for j := 0; j < b; j++ {
+			want := make([]byte, p.N)
+			PKFromSig(ctx, want, sigs[j], msgs[j*p.N:(j+1)*p.N], treeIdxs[j], leafIdxs[j])
+			if !bytes.Equal(roots[j*p.N:(j+1)*p.N], want) {
+				t.Fatalf("b=%d sig %d: batch root differs from scalar", b, j)
+			}
+		}
+	}
+}

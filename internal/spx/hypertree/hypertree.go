@@ -3,6 +3,7 @@
 package hypertree
 
 import (
+	"herosign/internal/sha2"
 	"herosign/internal/spx/address"
 	"herosign/internal/spx/hashes"
 	"herosign/internal/spx/treecache"
@@ -55,6 +56,38 @@ func SignCached(ctx *hashes.Ctx, cache *treecache.Cache, root, sig, msg []byte, 
 	}
 	if root != nil {
 		copy(root[:p.N], node[:p.N])
+	}
+}
+
+// PKFromSigBatch recomputes b hypertree roots at once, one per signature,
+// climbing all b D-layer chains layer- and level-synchronously so the XMSS
+// and WOTS+ lane passes pool work across signatures. roots holds the b
+// N-byte FORS public keys on entry and the b recovered hypertree roots on
+// exit (back to back); sigs[j] is signature j's D*XMSSBytes hypertree
+// signature and (treeIdxs[j], leafIdxs[j]) its path. Outputs are
+// byte-identical to b scalar PKFromSig calls.
+func PKFromSigBatch(ctx *hashes.Ctx, b int, roots []byte, sigs *[sha2.Lanes][]byte, treeIdxs *[sha2.Lanes]uint64, leafIdxs *[sha2.Lanes]uint32) {
+	p := ctx.P
+	var tIdx [sha2.Lanes]uint64
+	var lIdx [sha2.Lanes]uint32
+	for j := 0; j < b; j++ {
+		tIdx[j] = treeIdxs[j]
+		lIdx[j] = leafIdxs[j]
+	}
+	var treeAdrs [sha2.Lanes]address.Address
+	var layerSigs [sha2.Lanes][]byte
+	for layer := 0; layer < p.D; layer++ {
+		for j := 0; j < b; j++ {
+			treeAdrs[j] = address.Address{}
+			treeAdrs[j].SetLayer(uint32(layer))
+			treeAdrs[j].SetTree(tIdx[j])
+			layerSigs[j] = sigs[j][layer*p.XMSSBytes : (layer+1)*p.XMSSBytes]
+		}
+		xmss.PKFromSigBatch(ctx, b, roots[:b*p.N], &layerSigs, &treeAdrs, &lIdx)
+		for j := 0; j < b; j++ {
+			lIdx[j] = uint32(tIdx[j] & ((1 << uint(p.TreeHeight)) - 1))
+			tIdx[j] >>= uint(p.TreeHeight)
+		}
 	}
 }
 

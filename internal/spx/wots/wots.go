@@ -188,6 +188,75 @@ func Sign(ctx *hashes.Ctx, sig, msg []byte, adrs *address.Address) {
 	stepChainsBatch(ctx, sig, zeros[:p.WOTSLen], lengths, adrs)
 }
 
+// PKFromSigBatch recovers b compressed public keys at once, one per
+// signature, scheduling the chain work of all signatures step-synchronously:
+// per hash position s every live chain of every signature takes one F, so
+// lane passes stay nearly full even where a single signature's live-chain
+// count dips (the long tail of high-digit chains). pks receives b N-byte
+// public keys back to back. msgs[j] is the N-byte signed value of signature
+// j; pks may overlap the msgs storage — every message is consumed before the
+// first public-key byte is written. adrs[j] must carry signature j's
+// key-pair addressing (type WOTSHash). Outputs are byte-identical to b
+// scalar PKFromSig calls.
+func PKFromSigBatch(ctx *hashes.Ctx, b int, pks []byte, sigs, msgs *[sha2.Lanes][]byte, adrs *[sha2.Lanes]address.Address) {
+	p := ctx.P
+	lengths := ctx.WOTSLengthsBatchBuf(b)
+	buf := ctx.WOTSPKBatchBuf(b)
+	for j := 0; j < b; j++ {
+		ChainLengthsInto(p, lengths[j*p.WOTSLen:(j+1)*p.WOTSLen], msgs[j])
+		copy(buf[j*p.WOTSBytes:(j+1)*p.WOTSBytes], sigs[j][:p.WOTSBytes])
+	}
+
+	// Step-synchronous advance pooled across signatures: within one hash
+	// position the chains of different signatures are independent, so a
+	// lane group fills across signature boundaries; only the step boundary
+	// forces a flush (position s+1 of a chain needs its position-s value).
+	// Per-signature template addresses are built once; the inner loop then
+	// pays one struct copy plus the chain/hash words per lane instead of
+	// re-deriving the key-pair prefix and re-zeroing the type words.
+	var tpl [sha2.Lanes]address.Address
+	for j := 0; j < b; j++ {
+		tpl[j].CopyKeyPair(&adrs[j])
+		tpl[j].SetType(address.WOTSHash)
+		tpl[j].SetKeyPair(adrs[j].KeyPair())
+	}
+
+	end := uint32(p.W - 1)
+	var outs [sha2.Lanes][]byte
+	var lanes [sha2.Lanes]address.Address
+	for s := uint32(0); s < end; s++ {
+		count := 0
+		for j := 0; j < b; j++ {
+			base := j * p.WOTSLen
+			for i := 0; i < p.WOTSLen; i++ {
+				if s < lengths[base+i] {
+					continue
+				}
+				outs[count] = buf[(base+i)*p.N : (base+i+1)*p.N]
+				lanes[count] = tpl[j]
+				lanes[count].SetChain(uint32(i))
+				lanes[count].SetHash(s)
+				count++
+				if count == sha2.Lanes {
+					ctx.FLanes(count, &outs, &outs, &lanes)
+					count = 0
+				}
+			}
+		}
+		if count > 0 {
+			ctx.FLanes(count, &outs, &outs, &lanes)
+		}
+	}
+
+	var pkAdrs address.Address
+	for j := 0; j < b; j++ {
+		pkAdrs.CopyKeyPair(&adrs[j])
+		pkAdrs.SetType(address.WOTSPK)
+		pkAdrs.SetKeyPair(adrs[j].KeyPair())
+		ctx.Thash(pks[j*p.N:(j+1)*p.N], buf[j*p.WOTSBytes:(j+1)*p.WOTSBytes], &pkAdrs)
+	}
+}
+
 // PKFromSig recovers the compressed public key from a signature and the
 // signed message; verification succeeds when the result feeds a Merkle path
 // that reproduces the tree root.

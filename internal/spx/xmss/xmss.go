@@ -10,6 +10,7 @@
 package xmss
 
 import (
+	"herosign/internal/sha2"
 	"herosign/internal/spx/address"
 	"herosign/internal/spx/hashes"
 	"herosign/internal/spx/params"
@@ -132,6 +133,58 @@ func Sign(ctx *hashes.Ctx, root, sig, msg []byte, treeAdrs *address.Address, lea
 	TreeHash(ctx, root, treeAdrs, leafIdx, sig[p.WOTSBytes:])
 }
 
+// PKFromSigBatch recomputes b subtree roots at once, one per signature:
+// the WOTS+ public-key recoveries run cross-signature step-synchronously
+// (wots.PKFromSigBatch) and the b authentication-path climbs advance
+// level-synchronously in multi-lane H passes. roots holds the b N-byte
+// signed messages on entry and receives the b recovered roots on exit (the
+// in-place convention the hypertree layer chain uses; every message is
+// consumed before the first root byte is written). treeAdrs[j] identifies
+// signature j's subtree (layer/tree set) and leafIdxs[j] its leaf. Outputs
+// are byte-identical to b scalar PKFromSig calls.
+func PKFromSigBatch(ctx *hashes.Ctx, b int, roots []byte, sigs *[sha2.Lanes][]byte, treeAdrs *[sha2.Lanes]address.Address, leafIdxs *[sha2.Lanes]uint32) {
+	p := ctx.P
+	var wotsAdrs [sha2.Lanes]address.Address
+	var msgs, nodes [sha2.Lanes][]byte
+	for j := 0; j < b; j++ {
+		wotsAdrs[j].CopySubtree(&treeAdrs[j])
+		wotsAdrs[j].SetType(address.WOTSHash)
+		wotsAdrs[j].SetKeyPair(leafIdxs[j])
+		msgs[j] = roots[j*p.N : (j+1)*p.N]
+	}
+	// The recovered WOTS public keys overwrite the messages in place —
+	// PKFromSigBatch reads every message before writing any key.
+	wots.PKFromSigBatch(ctx, b, roots[:b*p.N], sigs, &msgs, &wotsAdrs)
+
+	var idxs [sha2.Lanes]uint32
+	var lanes [sha2.Lanes]address.Address
+	var lefts, rights [sha2.Lanes][]byte
+	for j := 0; j < b; j++ {
+		idxs[j] = leafIdxs[j]
+		nodes[j] = roots[j*p.N : (j+1)*p.N]
+	}
+	for j := 0; j < b; j++ {
+		lanes[j].CopySubtree(&treeAdrs[j])
+		lanes[j].SetType(address.Tree)
+	}
+	for h := 0; h < p.TreeHeight; h++ {
+		for j := 0; j < b; j++ {
+			authNode := sigs[j][p.WOTSBytes+h*p.N : p.WOTSBytes+(h+1)*p.N]
+			if idxs[j]&1 == 0 {
+				lefts[j] = nodes[j]
+				rights[j] = authNode
+			} else {
+				lefts[j] = authNode
+				rights[j] = nodes[j]
+			}
+			lanes[j].SetTreeHeight(uint32(h + 1))
+			lanes[j].SetTreeIndex(idxs[j] >> 1)
+			idxs[j] >>= 1
+		}
+		ctx.HLanes(b, &nodes, &lefts, &rights, &lanes)
+	}
+}
+
 // PKFromSig recomputes the subtree root from an XMSS signature into root
 // (N bytes): recover the WOTS+ public key, then climb the authentication
 // path. root may alias msg.
@@ -142,8 +195,10 @@ func PKFromSig(ctx *hashes.Ctx, root, sig, msg []byte, treeAdrs *address.Address
 	wotsAdrs.SetType(address.WOTSHash)
 	wotsAdrs.SetKeyPair(leafIdx)
 
-	var node [32]byte // N <= 32
-	wots.PKFromSig(ctx, node[:p.N], sig[:p.WOTSBytes], msg, &wotsAdrs)
+	// The climb node lives in the context arena: a stack array would escape
+	// (and allocate) per call through the scalar H's engine-backed path.
+	node := ctx.XMSSNodeBuf()
+	wots.PKFromSig(ctx, node, sig[:p.WOTSBytes], msg, &wotsAdrs)
 
 	var nodeAdrs address.Address
 	nodeAdrs.CopySubtree(treeAdrs)
@@ -155,11 +210,11 @@ func PKFromSig(ctx *hashes.Ctx, root, sig, msg []byte, treeAdrs *address.Address
 		nodeAdrs.SetTreeIndex(idx >> 1)
 		authNode := auth[h*p.N : (h+1)*p.N]
 		if idx&1 == 0 {
-			ctx.H(node[:p.N], node[:p.N], authNode, &nodeAdrs)
+			ctx.H(node, node, authNode, &nodeAdrs)
 		} else {
-			ctx.H(node[:p.N], authNode, node[:p.N], &nodeAdrs)
+			ctx.H(node, authNode, node, &nodeAdrs)
 		}
 		idx >>= 1
 	}
-	copy(root[:p.N], node[:p.N])
+	copy(root[:p.N], node)
 }

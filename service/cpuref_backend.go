@@ -25,6 +25,10 @@ type cpurefBackend struct {
 	memoBytes int64
 	memoWarm  bool
 	cache     *spx.TreeCache
+
+	// Persistent lane-batched verification contexts for the shard key,
+	// built in Warm so steady-state verify batches reuse warm arenas.
+	verifier *cpuref.BatchVerifier
 }
 
 // NewCPURefBackend wraps the real-CPU lane-engine signer as a Backend with
@@ -79,6 +83,7 @@ func (b *cpurefBackend) Warm(key *PrivateKey) error {
 			b.cache.Warm(b.threads)
 		}
 	}
+	b.verifier = cpuref.NewBatchVerifier(&key.PublicKey)
 	signer, err := spx.NewSignerWithCache(key, b.cache)
 	if err != nil {
 		return err
@@ -124,7 +129,13 @@ func (b *cpurefBackend) RunBatch(ctx context.Context, key *PrivateKey, job *Job)
 		b.weight.observe(len(job.Msgs), busyUs)
 		return &BatchOutput{Sigs: sigs, BusyUs: busyUs}, nil
 	case KindVerify:
-		ok, res, err := cpuref.VerifyBatch(&key.PublicKey, job.Msgs, job.Sigs, b.threads)
+		// Lane-batched across signatures via the persistent verifier pool
+		// built in Warm (a one-shot pool covers direct RunBatch callers).
+		bv := b.verifier
+		if bv == nil {
+			bv = cpuref.NewBatchVerifier(&key.PublicKey)
+		}
+		ok, res, err := bv.VerifyBatch(job.Msgs, job.Sigs, b.threads)
 		if err != nil {
 			return nil, err
 		}

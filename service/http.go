@@ -274,9 +274,14 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 // handleVerifyBatch checks a set of (message, signature) pairs against one
 // key domain in a single round trip — the wire path remote front ends
-// proxy coalesced verify batches through. A pair whose signature has the
-// wrong length for the parameter set is reported invalid (not an error);
-// overload and shutdown map to the usual 429/503 for the whole batch.
+// proxy coalesced verify batches through. Admission is all-or-nothing
+// (SubmitVerifyBatchKey): a 429 means no pair of the batch was admitted and
+// no verification work was spent, so a retry after Retry-After is cheap.
+// A pair whose signature has the wrong length for the parameter set is
+// reported invalid (not an error); shutdown maps to 503 for the whole
+// batch. Only when no key domain is named on a multi-shard service does the
+// batch fall back to per-pair any-shard submission, where partial admission
+// is inherent.
 func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	var req verifyBatchRequest
 	if !decodeJSON(w, r, &req) {
@@ -299,14 +304,26 @@ func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	if keyID == "" && len(s.router.shards) == 1 {
 		keyID = s.router.shards[0].keyID
 	}
-	futs := make([]*Future, 0, len(req.Messages))
-	for i := range req.Messages {
-		fut, err := s.SubmitVerifyKey(keyID, req.Messages[i], req.Signatures[i])
+	var futs []*Future
+	if keyID != "" {
+		var err error
+		futs, err = s.SubmitVerifyBatchKey(keyID, req.Messages, req.Signatures)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		futs = append(futs, fut)
+	} else {
+		// No key domain on a multi-shard service: each pair must consult
+		// every shard, so pairs submit independently.
+		futs = make([]*Future, 0, len(req.Messages))
+		for i := range req.Messages {
+			fut, err := s.SubmitVerifyKey(keyID, req.Messages[i], req.Signatures[i])
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			futs = append(futs, fut)
+		}
 	}
 	resp := verifyBatchResponse{KeyID: keyID, Valid: make([]bool, 0, len(futs))}
 	for _, fut := range futs {

@@ -493,6 +493,69 @@ func (s *Service) submitVerifyTo(sh *shard, msg, sig []byte) (*Future, error) {
 		append([]byte(nil), msg...), append([]byte(nil), sig...))
 }
 
+// SubmitVerifyBatchKey queues a set of (message, signature) pairs for
+// verification against one key domain ("" routes to the least-loaded
+// shard) with the same all-or-nothing admission as SubmitSignBatch: either
+// every pair is admitted (one future each) or none is and ErrOverloaded is
+// returned — a rejected batch does no verification work and a retry after
+// Retry-After is cheap. A batch that could never fit the admission caps
+// fails with ErrBatchTooLarge (split it). Admitted members are pinned
+// against drop-oldest-deadline shedding. Keeping the pairs together also
+// lets the backend lane-batch their hash work across signatures.
+func (s *Service) SubmitVerifyBatchKey(keyID string, msgs, sigs [][]byte) ([]*Future, error) {
+	if len(msgs) != len(sigs) {
+		return nil, fmt.Errorf("service: %d messages but %d signatures", len(msgs), len(sigs))
+	}
+	sh, err := s.router.shardFor(keyID)
+	if err != nil {
+		return nil, err
+	}
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	rt := s.router
+	k := int64(len(msgs))
+	if (sh.gate.limit > 0 && k > sh.gate.limit) || (rt.global.limit > 0 && k > rt.global.limit) {
+		return nil, fmt.Errorf("%w: %d pairs against caps shard=%d global=%d",
+			ErrBatchTooLarge, k, sh.gate.limit, rt.global.limit)
+	}
+	if !rt.global.tryAcquire(k) {
+		rt.rejectedGlobal.Add(1)
+		return nil, &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
+	}
+	if !sh.gate.tryAcquire(k) {
+		rt.global.release(k)
+		sh.rejected.Add(1)
+		return nil, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
+	}
+	release := func() {
+		sh.gate.release(1)
+		rt.global.release(1)
+	}
+	futs := make([]*Future, 0, len(msgs))
+	b := s.batchers[sh.id].byKind(KindVerify)
+	for i := range msgs {
+		r := &request{
+			msg:     append([]byte(nil), msgs[i]...),
+			sig:     append([]byte(nil), sigs[i]...),
+			fut:     newFuture(),
+			release: release,
+			pinned:  true,
+		}
+		if err := b.submit(r); err != nil {
+			// Closed mid-batch: refund the slots of the never-submitted
+			// tail; already-submitted futures resolve through the drain.
+			r.release = nil
+			for j := i; j < len(msgs); j++ {
+				release()
+			}
+			return nil, err
+		}
+		futs = append(futs, r.fut)
+	}
+	return futs, nil
+}
+
 // submitVerifyShared submits without copying: the caller guarantees the
 // buffers stay untouched until the future resolves.
 func (s *Service) submitVerifyShared(sh *shard, msg, sig []byte) (*Future, error) {
