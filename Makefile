@@ -25,10 +25,11 @@ bench: build
 
 # bench-short is the CI smoke lane: a fast subset covering a modeled table,
 # the tuner, and the wall-clock experiments (lane engine, admission control
-# under overload, hypertree memoization cold-vs-warm, lane-batched
-# verification vs the scalar baseline).
+# under overload, tenant isolation under a noisy neighbor, hypertree
+# memoization cold-vs-warm, lane-batched verification vs the scalar
+# baseline).
 bench-short: build
-	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload,memo,verify
+	$(GO) run ./cmd/herosign-bench -batch 64 -sample 1 -exp table1,table4,lanes,overload,tenants,memo,verify
 
 # bench-compare regenerates BENCH_latest.json and diffs it against the
 # newest committed dated snapshot.

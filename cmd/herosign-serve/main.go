@@ -7,7 +7,8 @@
 //	herosign-serve [-addr :8080] [-params 128f] [-gpus "RTX 4090,RTX 4090"]
 //	               [-cpuref 0] [-memo-mb 0] [-memo-warm]
 //	               [-shards 1] [-queue-limit 0] [-global-queue-limit 0]
-//	               [-shed reject-newest] [-drain 10s]
+//	               [-shed reject-newest] [-tenant-rate 0] [-tenant-burst 0]
+//	               [-drain 10s]
 //	               [-max-batch 64] [-deadline 2ms] [-key hexfile]
 //	               [-remote "http://leaf1:8080,http://leaf2:8080"] [-hedge-p 95]
 //	               [-replica-of http://peer:8080]
@@ -24,8 +25,16 @@
 // the fleet into that many key domains (each signing under its own derived
 // key; see GET /v1/keys). -queue-limit / -global-queue-limit bound
 // admission (0 = unbounded, -1 = auto from backend capacities); overload
-// returns 429 with Retry-After, shedding per -shed. Without -key a fresh
-// key pair is generated and the public key printed on startup.
+// returns 429 with Retry-After, shedding per -shed. -tenant-rate R gives
+// each API key (the X-API-Key header; absent = the default tenant) its own
+// token bucket of R messages/s with burst -tenant-burst, so one hot tenant
+// is rate-limited before it can starve a shard; per-tenant counters appear
+// under "tenants" in /v1/stats whether or not rate limiting is on. Clients
+// may also send X-Request-Deadline (relative milliseconds, or deadline_ms
+// in the body): work that cannot meet its deadline is pre-rejected with
+// 429, an expired deadline returns 504, and pending batches flush
+// earliest-deadline-first. Without -key a fresh key pair is generated and
+// the public key printed on startup.
 //
 // -remote turns this instance into a fleet-of-fleets front end: each URL
 // becomes a proxy backend that forwards batches to another herosign-serve
@@ -79,6 +88,8 @@ func main() {
 	queueLimit := flag.Int("queue-limit", 0, "per-shard admission cap (0 = unbounded, -1 = auto)")
 	globalLimit := flag.Int("global-queue-limit", 0, "service-wide admission cap (0 = unbounded, -1 = auto)")
 	shed := flag.String("shed", "reject-newest", "overload policy: reject-newest or drop-oldest-deadline")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in messages/s, keyed by X-API-Key (0 = no per-tenant rate limiting)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = one second of -tenant-rate, floored at 8)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain deadline (0 = wait for a full drain)")
 	maxBatch := flag.Int("max-batch", 0, "size-triggered flush threshold (0 = engine SubBatch)")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "coalescing flush deadline")
@@ -108,6 +119,12 @@ func main() {
 		herosign.WithGlobalQueueLimit(*globalLimit),
 		herosign.WithShedPolicy(policy),
 		herosign.WithDrainDeadline(*drain),
+	}
+	if *tenantRate > 0 {
+		opts = append(opts, herosign.WithTenantRate(*tenantRate))
+		if *tenantBurst > 0 {
+			opts = append(opts, herosign.WithTenantBurst(*tenantBurst))
+		}
 	}
 	if *maxBatch > 0 {
 		opts = append(opts, herosign.WithServiceMaxBatch(*maxBatch))
@@ -173,8 +190,8 @@ func main() {
 		fmt.Printf("replica check: key catalog matches %s\n", *replicaOf)
 	}
 
-	fmt.Printf("herosign-serve: params=%s addr=%s shards=%d shed=%s queue-limit=%d/%d\n",
-		p.Name, *addr, *shards, policy, *queueLimit, *globalLimit)
+	fmt.Printf("herosign-serve: params=%s addr=%s shards=%d shed=%s queue-limit=%d/%d tenant-rate=%g\n",
+		p.Name, *addr, *shards, policy, *queueLimit, *globalLimit, *tenantRate)
 	for _, sh := range svc.Shards() {
 		fmt.Printf("shard %d key=%s backends=%s pk=%s\n",
 			sh.ID, sh.KeyID, strings.Join(sh.Backends, ","),

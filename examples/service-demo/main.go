@@ -23,6 +23,14 @@
 // the overflow is answered with 429 + Retry-After (so queues never grow
 // beyond the caps) while the p99 latency of admitted requests stays
 // bounded, and prints the shed/rejected counters from /v1/stats.
+//
+// Phase 3 — tenant isolation: a service with per-tenant token buckets
+// (-tenant-rate equivalent) takes a flood from one API key while a second
+// key submits paced requests with generous X-Request-Deadline headers. The
+// demo asserts the quiet tenant is untouched (every request 200, zero rate
+// rejections) while the hot tenant absorbs the 429s, fires one deliberately
+// hopeless 1ms-deadline request into the backlog, and prints the per-tenant
+// counter table from /v1/stats.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"herosign"
@@ -358,6 +367,130 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("overload service drained cleanly; queues stayed within their caps")
+
+	// ------------------------------------------------------------------
+	// Phase 3 — tenant isolation: per-tenant token buckets keep a flooding
+	// API key from starving a paced one.
+	// ------------------------------------------------------------------
+	const (
+		tenantRate  = 50 // messages/s admitted per API key
+		tenantBurst = 8
+		hotFlood    = 120
+		quietN      = 15
+	)
+	metered, err := herosign.NewService(append(mixedOpts(),
+		herosign.WithTenantRate(tenantRate),
+		herosign.WithTenantBurst(tenantBurst),
+		herosign.WithServiceMaxBatch(16),
+		herosign.WithDrainDeadline(10*time.Second),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservice-demo phase 3: tenant isolation — bucket %d msgs/s burst %d per API key; "+
+		"%d-request flood from \"hot\" vs %d paced requests from \"quiet\"\n",
+		tenantRate, tenantBurst, hotFlood, quietN)
+
+	ts3 := httptest.NewServer(metered.Handler())
+	post := func(tenant, deadlineMs string, msg []byte) int {
+		body, _ := json.Marshal(map[string]any{"message": msg})
+		req, err := http.NewRequest(http.MethodPost, ts3.URL+"/v1/sign", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.TenantHeader, tenant)
+		if deadlineMs != "" {
+			req.Header.Set(service.DeadlineHeader, deadlineMs)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Printf("tenant %s request: %v", tenant, err)
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	var hotOK, hot429, hotOther, probeStatus int64
+	var tenantWG sync.WaitGroup
+	for i := 0; i < hotFlood; i++ {
+		tenantWG.Add(1)
+		go func(i int) {
+			defer tenantWG.Done()
+			switch post("hot", "", []byte(fmt.Sprintf("hot flood %d", i))) {
+			case http.StatusOK:
+				atomic.AddInt64(&hotOK, 1)
+			case http.StatusTooManyRequests:
+				atomic.AddInt64(&hot429, 1)
+			default:
+				atomic.AddInt64(&hotOther, 1)
+			}
+		}(i)
+	}
+	// A 1ms deadline fired into the flood: pre-rejected (429) against the
+	// backlog, expired in queue (504), or — on a fast box that already
+	// drained — signed in time (200). Anything else is a bug.
+	tenantWG.Add(1)
+	go func() {
+		defer tenantWG.Done()
+		time.Sleep(2 * time.Millisecond)
+		atomic.StoreInt64(&probeStatus, int64(post("probe", "1", []byte("hopeless deadline"))))
+	}()
+
+	quietOK := 0
+	for i := 0; i < quietN; i++ {
+		if post("quiet", "30000", []byte(fmt.Sprintf("quiet %d", i))) == http.StatusOK {
+			quietOK++
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	tenantWG.Wait()
+
+	st3 := fetchStats(ts3.URL)
+	ts3.Close()
+	fmt.Printf("hot: %d ok, %d rate-limited (429), %d other; quiet: %d/%d ok; 1ms-deadline probe: %d\n",
+		hotOK, hot429, hotOther, quietOK, quietN, probeStatus)
+	fmt.Println("per-tenant counters from /v1/stats:")
+	for _, tn := range st3.Tenants {
+		fmt.Printf("  %-8s admitted=%-4d done=%-4d rej_rate=%-4d rej_deadline=%-2d expired=%-2d avg=%.2fms\n",
+			tn.Tenant, tn.Admitted, tn.Done, tn.RejectedRate, tn.RejectedDeadline, tn.Expired, tn.AvgLatencyMs)
+	}
+
+	var quietStats, hotStats *service.TenantStats
+	for i := range st3.Tenants {
+		switch st3.Tenants[i].Tenant {
+		case "quiet":
+			quietStats = &st3.Tenants[i]
+		case "hot":
+			hotStats = &st3.Tenants[i]
+		}
+	}
+	switch {
+	case hotOther > 0:
+		log.Fatalf("%d hot requests failed with unexpected statuses", hotOther)
+	case quietOK != quietN:
+		log.Fatalf("quiet tenant lost requests under the flood: %d/%d ok", quietOK, quietN)
+	case hot429 == 0:
+		log.Fatal("the flood was never rate-limited — tenant buckets did not engage")
+	case hotOK == 0:
+		log.Fatal("the hot tenant was starved outright; its burst should have been admitted")
+	case hotStats == nil || hotStats.RejectedRate == 0:
+		log.Fatalf("hot tenant counters show no rate rejections: %+v", hotStats)
+	case quietStats == nil || quietStats.RejectedRate != 0 || quietStats.Done != int64(quietN):
+		log.Fatalf("quiet tenant counters are off: %+v", quietStats)
+	}
+	switch probeStatus {
+	case http.StatusOK, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+	default:
+		log.Fatalf("1ms-deadline probe returned %d; want 200, 429 or 504", probeStatus)
+	}
+
+	if err := metered.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tenant service drained cleanly; the quiet tenant never saw the flood")
 }
 
 func fetchStats(base string) service.Stats {

@@ -348,6 +348,17 @@ func WithShedPolicy(p ShedPolicy) ServiceOption { return service.WithShedPolicy(
 // before abandoning them (zero waits for a full drain).
 func WithDrainDeadline(d time.Duration) ServiceOption { return service.WithDrainDeadline(d) }
 
+// WithTenantRate enables per-tenant fair queuing: each API key's admitted
+// messages draw from its own token bucket refilling at rate messages/s, so
+// one hot tenant is rate-limited (429) before it can starve a shard. Zero
+// (the default) disables rate limiting; per-tenant counters in /v1/stats
+// stay on either way.
+func WithTenantRate(rate float64) ServiceOption { return service.WithTenantRate(rate) }
+
+// WithTenantBurst caps each tenant's token bucket (default: one second of
+// the tenant rate, floored at 8).
+func WithTenantBurst(n int) ServiceOption { return service.WithTenantBurst(n) }
+
 // NewService builds the request-coalescing signing service. See the
 // package documentation's serving-layer quickstart.
 func NewService(opts ...ServiceOption) (*Service, error) { return service.New(opts...) }

@@ -15,14 +15,29 @@ var ErrOverloaded = errors.New("service: overloaded")
 
 // OverloadError reports an admission rejection with a drain-time estimate.
 type OverloadError struct {
-	// Scope is "shard" or "global" depending on which cap rejected.
+	// Scope is which admission layer rejected: "shard" or "global" for a
+	// full queue gate, "tenant" for a per-API-key token-bucket rejection,
+	// "deadline" for a deadline pre-rejection (the estimated queue wait
+	// already exceeds the client's deadline, so queuing would only waste a
+	// slot on work that expires anyway).
 	Scope string
+	// Tenant names the API key whose bucket rejected (Scope "tenant" only).
+	Tenant string
 	// RetryAfter estimates when capacity frees up: the rejecting queue's
-	// outstanding messages divided by its sigs/s weight.
+	// outstanding messages divided by its sigs/s weight, or for Scope
+	// "tenant" the bucket's refill time.
 	RetryAfter time.Duration
 }
 
 func (e *OverloadError) Error() string {
+	switch e.Scope {
+	case "tenant":
+		return fmt.Sprintf("service: overloaded (tenant %q over rate, retry in %s)",
+			e.Tenant, e.RetryAfter.Round(time.Millisecond))
+	case "deadline":
+		return fmt.Sprintf("service: overloaded (estimated queue wait %s exceeds request deadline)",
+			e.RetryAfter.Round(time.Millisecond))
+	}
 	return fmt.Sprintf("service: overloaded (%s queue full, retry in %s)",
 		e.Scope, e.RetryAfter.Round(time.Millisecond))
 }
@@ -32,6 +47,11 @@ func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 // IsOverloaded reports whether err is (or wraps) an admission rejection —
 // from this service's own gates or, for remote-backed fleets, a leaf's.
 func IsOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// IsDeadlineExceeded reports whether err is (or wraps) a client-deadline
+// expiry — an already-expired deadline pre-rejected at Submit, or admitted
+// work dropped unexecuted once its deadline passed in the queue.
+func IsDeadlineExceeded(err error) bool { return errors.Is(err, ErrDeadlineExceeded) }
 
 // RetryAfter extracts the drain-time estimate from an overload error, or
 // zero when err carries none. Clients should back off at least this long
@@ -51,10 +71,12 @@ const (
 	// RejectNewest (the default) rejects the incoming request with
 	// ErrOverloaded and leaves the queue untouched.
 	RejectNewest ShedPolicy = iota
-	// DropOldestDeadline sheds the oldest still-coalescing request of the
-	// same kind — the one closest to its flush deadline — resolving its
-	// future with ErrOverloaded, and admits the incoming request in its
-	// place. Requests already flushed to a backend are never dropped.
+	// DropOldestDeadline sheds the still-coalescing request of the same
+	// kind with the nearest client deadline — the entry least likely to be
+	// served in time (falling back to the oldest arrival when nothing
+	// pending carries a deadline) — resolving its future with ErrOverloaded,
+	// and admits the incoming request in its place. Requests already flushed
+	// to a backend are never dropped.
 	DropOldestDeadline
 )
 

@@ -15,12 +15,24 @@ import (
 type SeedTriple = core.SeedTriple
 
 // Job is one flushed batch on its way to a Backend. Exactly the fields
-// matching Kind are populated.
+// matching Kind are populated; the scheduling metadata below is advisory
+// and may be nil when no request in the batch carried it.
 type Job struct {
 	Kind  Kind
 	Msgs  [][]byte     // KindSign and KindVerify
 	Sigs  [][]byte     // KindVerify
 	Seeds []SeedTriple // KindKeyGen
+
+	// DeadlinesMs holds each message's remaining client deadline in
+	// milliseconds at dispatch time (0 = none), parallel to the Kind inputs.
+	// Proxying backends (service/remote) forward it so a leaf's scheduler
+	// sees the same urgency the front end did; local backends may ignore it.
+	// Nil when no message in the batch carries a deadline.
+	DeadlinesMs []int64
+	// Tenants holds each message's API key ("" = default tenant), parallel
+	// to the Kind inputs, for proxying backends to forward. Nil when every
+	// message is the default tenant.
+	Tenants []string
 }
 
 // BatchOutput is a Backend's result for one Job. Slices are parallel to the

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,6 +32,12 @@ var (
 	// never fit the admission caps even on an idle service — unlike
 	// ErrOverloaded, retrying cannot help; split the batch instead.
 	ErrBatchTooLarge = errors.New("service: batch exceeds admission capacity")
+	// ErrDeadlineExceeded marks work whose client deadline cannot be (or was
+	// not) met: an already-expired deadline is pre-rejected at admission
+	// without consuming a queue slot, and a request whose deadline passes
+	// while it waits for a flush is dropped before any signing work is spent
+	// on it. The HTTP layer maps it to 504.
+	ErrDeadlineExceeded = errors.New("service: client deadline exceeded")
 )
 
 // Kind identifies the job type a request carries through the batcher and
@@ -106,6 +113,15 @@ type request struct {
 	sig  []byte
 	seed core.SeedTriple
 	fut  *Future
+	// deadline is the client's completion deadline (zero = none). Admission
+	// pre-rejects work that cannot make it, the batcher flushes early and
+	// orders EDF around it, and the pool drops it unexecuted once expired.
+	deadline time.Time
+	// enqueued timestamps the submit for per-tenant latency accounting.
+	enqueued time.Time
+	// tenant is the per-API-key accounting state the request charges
+	// (always set on admitted requests; the empty key maps to DefaultTenant).
+	tenant *tenantState
 	// release returns the request's admission slots; set when the request
 	// is admitted, invoked exactly once via resolve.
 	release func()
@@ -123,6 +139,9 @@ func (r *request) resolve(res Result, err error) {
 	if r.release != nil {
 		r.release()
 	}
+	if r.tenant != nil {
+		r.tenant.complete(err, time.Since(r.enqueued))
+	}
 }
 
 // batcher coalesces individual requests of one kind into GPU-sized batches.
@@ -130,6 +149,13 @@ func (r *request) resolve(res Result, err error) {
 // or when the oldest pending request has waited deadline (timer-triggered),
 // whichever comes first — so tail latency stays bounded under light load
 // while batches approach maxBatch under heavy load.
+//
+// Requests carrying a client deadline make the flush earliest-deadline-
+// first aware: the timer tightens so a tight deadline flushes its batch
+// early (one flush interval before it expires, immediately when even that
+// is too late), flushed batches are ordered EDF, and the drop-oldest-
+// deadline shed policy evicts the entry with the truly nearest deadline
+// instead of the oldest arrival.
 type batcher struct {
 	kind     Kind
 	maxBatch int
@@ -137,9 +163,10 @@ type batcher struct {
 	flush    func(kind Kind, reqs []*request)
 
 	mu      sync.Mutex
-	pending []*request
-	gen     uint64 // increments at every flush; defeats stale timers
+	pending []*request // arrival order; sorted EDF at take
+	gen     uint64     // increments at every flush; defeats stale timers
 	timer   *time.Timer
+	timerAt time.Time // when the armed timer fires (zero = none)
 	closed  bool
 }
 
@@ -154,7 +181,12 @@ func newBatcher(kind Kind, maxBatch int, deadline time.Duration, flush func(Kind
 }
 
 // submit queues one request. The size threshold flushes inline (on the
-// caller's goroutine); the deadline flushes from a timer goroutine.
+// caller's goroutine); the deadline flushes from a timer goroutine. A
+// request whose client deadline is tighter than the armed flush point
+// re-arms the timer to fire one flush interval before that deadline — and
+// when even an immediate flush is barely in time, flushes inline — so a
+// deadline shorter than the coalescing interval still has a chance instead
+// of expiring in the queue.
 func (b *batcher) submit(r *request) error {
 	b.mu.Lock()
 	if b.closed {
@@ -168,16 +200,38 @@ func (b *batcher) submit(r *request) error {
 		b.flush(b.kind, batch)
 		return nil
 	}
+	now := time.Now()
+	var fire time.Time
 	if len(b.pending) == 1 {
+		fire = now.Add(b.deadline)
+	}
+	if !r.deadline.IsZero() {
+		// Reserve one flush interval as queue-and-execute margin.
+		if d := r.deadline.Add(-b.deadline); fire.IsZero() && d.Before(b.timerAt) || !fire.IsZero() && d.Before(fire) {
+			fire = d
+		}
+	}
+	if !fire.IsZero() {
+		if !fire.After(now) {
+			batch := b.take()
+			b.mu.Unlock()
+			b.flush(b.kind, batch)
+			return nil
+		}
 		gen := b.gen
-		b.timer = time.AfterFunc(b.deadline, func() { b.deadlineFlush(gen) })
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		b.timerAt = fire
+		b.timer = time.AfterFunc(time.Until(fire), func() { b.deadlineFlush(gen) })
 	}
 	b.mu.Unlock()
 	return nil
 }
 
-// take detaches the pending batch and advances the generation. Caller holds
-// b.mu.
+// take detaches the pending batch in EDF order (deadline-carrying requests
+// first, nearest deadline leading; deadline-free requests follow in arrival
+// order) and advances the generation. Caller holds b.mu.
 func (b *batcher) take() []*request {
 	batch := b.pending
 	b.pending = nil
@@ -186,7 +240,26 @@ func (b *batcher) take() []*request {
 		b.timer.Stop()
 		b.timer = nil
 	}
+	b.timerAt = time.Time{}
+	sortEDF(batch)
 	return batch
+}
+
+// sortEDF orders a batch earliest-deadline-first: requests with deadlines
+// lead (nearest first), requests without keep their arrival order behind
+// them.
+func sortEDF(reqs []*request) {
+	sort.SliceStable(reqs, func(i, j int) bool {
+		di, dj := reqs[i].deadline, reqs[j].deadline
+		switch {
+		case di.IsZero():
+			return false
+		case dj.IsZero():
+			return true
+		default:
+			return di.Before(dj)
+		}
+	})
 }
 
 // deadlineFlush fires from the timer. If a size-triggered flush (or close)
@@ -202,30 +275,46 @@ func (b *batcher) deadlineFlush(gen uint64) {
 	b.flush(b.kind, batch)
 }
 
-// evictOldest removes and returns the oldest still-coalescing unpinned
-// request — the one closest to its flush deadline — or nil when nothing is
-// evictable. The caller resolves the evicted request; the
-// drop-oldest-deadline shed policy uses this to make room for a new
-// admission.
-func (b *batcher) evictOldest() *request {
+// evictNearestDeadline removes and returns the still-coalescing unpinned
+// request with the nearest client deadline — exact EDF eviction: the entry
+// closest to expiring is the least likely to be served in time, so it is
+// the cheapest to shed. When no pending request carries a deadline the
+// eviction falls back to the oldest arrival (the pre-deadline behavior).
+// Returns nil when nothing is evictable. The caller resolves the evicted
+// request; the drop-oldest-deadline shed policy uses this to make room for
+// a new admission.
+func (b *batcher) evictNearestDeadline() *request {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return nil
 	}
+	best := -1
 	for i, r := range b.pending {
 		if r.pinned {
 			continue
 		}
-		b.pending = append(b.pending[:i], b.pending[i+1:]...)
-		if len(b.pending) == 0 && b.timer != nil {
-			b.timer.Stop()
-			b.timer = nil
-			b.gen++
+		if best == -1 {
+			best = i
+			continue
 		}
-		return r
+		if !r.deadline.IsZero() &&
+			(b.pending[best].deadline.IsZero() || r.deadline.Before(b.pending[best].deadline)) {
+			best = i
+		}
 	}
-	return nil
+	if best == -1 {
+		return nil
+	}
+	r := b.pending[best]
+	b.pending = append(b.pending[:best], b.pending[best+1:]...)
+	if len(b.pending) == 0 && b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+		b.timerAt = time.Time{}
+		b.gen++
+	}
+	return r
 }
 
 // depth reports the number of requests waiting for a flush.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"herosign/internal/core"
@@ -15,10 +16,22 @@ import (
 // ~50 KB base64) while bounding memory per connection.
 const MaxBodyBytes = 1 << 20
 
+// Scheduling headers. X-Request-Deadline carries the client's completion
+// deadline as relative milliseconds (clock-skew safe across hosts) and
+// overrides the body's deadline_ms; X-API-Key names the tenant the work is
+// charged to (absent = the default tenant).
+const (
+	DeadlineHeader = "X-Request-Deadline"
+	TenantHeader   = "X-API-Key"
+)
+
 // JSON wire types. []byte fields travel as standard base64 strings.
 type signRequest struct {
 	Message []byte `json:"message"`
 	KeyID   string `json:"key_id,omitempty"` // "" routes to the least-loaded shard
+	// DeadlineMs is the client deadline in relative milliseconds (0 = none);
+	// the X-Request-Deadline header overrides it.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 type signResponse struct {
@@ -32,6 +45,15 @@ type signResponse struct {
 type signBatchRequest struct {
 	Messages [][]byte `json:"messages"`
 	KeyID    string   `json:"key_id,omitempty"`
+	// DeadlineMs applies one relative deadline to every member (header
+	// overrides); DeadlinesMs, when present, is parallel to Messages with a
+	// per-member relative deadline (0 falls back to the scalar). Tenants,
+	// parallel likewise, names each member's tenant ("" falls back to
+	// X-API-Key) — the fields a proxying front end forwards so a leaf sees
+	// the same urgency and accounting it did.
+	DeadlineMs  int64    `json:"deadline_ms,omitempty"`
+	DeadlinesMs []int64  `json:"deadlines_ms,omitempty"`
+	Tenants     []string `json:"tenants,omitempty"`
 }
 
 type signBatchResponse struct {
@@ -43,6 +65,9 @@ type verifyRequest struct {
 	Message   []byte `json:"message"`
 	Signature []byte `json:"signature"`
 	KeyID     string `json:"key_id,omitempty"` // "" checks every shard's key
+	// DeadlineMs is the client deadline in relative milliseconds (0 = none);
+	// the X-Request-Deadline header overrides it.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 type verifyResponse struct {
@@ -56,6 +81,10 @@ type verifyBatchRequest struct {
 	Messages   [][]byte `json:"messages"`
 	Signatures [][]byte `json:"signatures"` // parallel to Messages
 	KeyID      string   `json:"key_id,omitempty"`
+	// Scheduling fields with signBatchRequest semantics.
+	DeadlineMs  int64    `json:"deadline_ms,omitempty"`
+	DeadlinesMs []int64  `json:"deadlines_ms,omitempty"`
+	Tenants     []string `json:"tenants,omitempty"`
 }
 
 type verifyBatchResponse struct {
@@ -76,6 +105,9 @@ type keygenRequest struct {
 	// Seeds, when present, derives one key per triple instead of Count
 	// random keys — the deterministic path remote front ends proxy through.
 	Seeds []seedTriple `json:"seeds,omitempty"`
+	// DeadlineMs is the client deadline in relative milliseconds applied to
+	// every derived key (0 = none); the header overrides it.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 type keygenKey struct {
@@ -120,6 +152,15 @@ type errorResponse struct {
 // clients are batched together onto the fleet. Overload rejections return
 // 429 with a Retry-After header; request bodies are capped at MaxBodyBytes
 // (413 beyond).
+//
+// Every submitting endpoint additionally honors two scheduling inputs: the
+// X-Request-Deadline header (relative milliseconds, overriding the body's
+// deadline_ms) sets a client deadline — work that cannot meet it is
+// pre-rejected (429 with retry_after_ms), an expired deadline returns 504 —
+// and X-API-Key names the tenant the work is charged to (per-tenant token
+// buckets when -tenant-rate is configured; per-tenant counters in
+// /v1/stats always). Batch endpoints also accept per-member deadlines_ms
+// and tenants arrays, the fields a proxying front end forwards.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sign", s.handleSign)
@@ -159,11 +200,84 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownKey):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrDeadlineExceeded):
+		// The client's own deadline expired before the work could run (or
+		// was already expired on arrival); unlike a 429 there is no point
+		// retrying with the same deadline.
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, ErrEmptyMessage), errors.Is(err, ErrSignatureLength),
 		errors.Is(err, ErrSeedLength), errors.Is(err, ErrBatchTooLarge):
 		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// submitOptsFrom derives one submission's scheduling attributes: the tenant
+// from X-API-Key and the deadline from the X-Request-Deadline header
+// (relative milliseconds; overrides the body's deadline_ms). It reports
+// false after writing a 400 for a malformed or non-positive deadline.
+func submitOptsFrom(w http.ResponseWriter, r *http.Request, bodyDeadlineMs int64) (SubmitOpts, bool) {
+	if bodyDeadlineMs < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("bad deadline_ms %d: want milliseconds > 0 (omit for none)", bodyDeadlineMs)})
+		return SubmitOpts{}, false
+	}
+	ms := bodyDeadlineMs
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("bad %s %q: want an integer of milliseconds > 0", DeadlineHeader, h)})
+			return SubmitOpts{}, false
+		}
+		ms = v
+	}
+	opts := SubmitOpts{Tenant: r.Header.Get(TenantHeader)}
+	if ms > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
+	return opts, true
+}
+
+// batchSubmitOpts expands a batch request's scheduling fields into one
+// SubmitOpts per member: base (the header/scalar-derived attributes)
+// applies everywhere, a non-zero deadlines_ms entry overrides the deadline
+// and a non-empty tenants entry overrides the tenant. Returns nil (all
+// defaults) when nothing is set; reports false after writing a 400 for
+// mis-sized arrays or a negative per-member deadline.
+func batchSubmitOpts(w http.ResponseWriter, base SubmitOpts, n int, deadlinesMs []int64, tenants []string) ([]SubmitOpts, bool) {
+	if len(deadlinesMs) > 0 && len(deadlinesMs) != n {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(
+			"deadlines_ms must be parallel to the batch: %d entries for %d members", len(deadlinesMs), n)})
+		return nil, false
+	}
+	if len(tenants) > 0 && len(tenants) != n {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(
+			"tenants must be parallel to the batch: %d entries for %d members", len(tenants), n)})
+		return nil, false
+	}
+	if base == (SubmitOpts{}) && len(deadlinesMs) == 0 && len(tenants) == 0 {
+		return nil, true
+	}
+	now := time.Now()
+	opts := make([]SubmitOpts, n)
+	for i := range opts {
+		opts[i] = base
+		if len(deadlinesMs) > 0 {
+			switch ms := deadlinesMs[i]; {
+			case ms < 0:
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(
+					"bad deadlines_ms[%d] %d: want milliseconds > 0 (0 falls back to deadline_ms)", i, ms)})
+				return nil, false
+			case ms > 0:
+				opts[i].Deadline = now.Add(time.Duration(ms) * time.Millisecond)
+			}
+		}
+		if len(tenants) > 0 && tenants[i] != "" {
+			opts[i].Tenant = tenants[i]
+		}
+	}
+	return opts, true
 }
 
 // decodeJSON decodes the request body, distinguishing oversized bodies
@@ -187,7 +301,11 @@ func (s *Service) handleSign(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	fut, err := s.SubmitSignKey(req.KeyID, req.Message)
+	opts, ok := submitOptsFrom(w, r, req.DeadlineMs)
+	if !ok {
+		return
+	}
+	fut, err := s.SubmitSignOpts(req.KeyID, req.Message, opts)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -230,12 +348,20 @@ func (s *Service) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	base, ok := submitOptsFrom(w, r, req.DeadlineMs)
+	if !ok {
+		return
+	}
+	opts, ok := batchSubmitOpts(w, base, len(req.Messages), req.DeadlinesMs, req.Tenants)
+	if !ok {
+		return
+	}
 	keyID := req.KeyID
 	if keyID == "" {
 		// Pin the whole batch to one shard so every signature shares a key.
 		keyID = s.router.route().keyID
 	}
-	futs, err := s.SubmitSignBatch(keyID, req.Messages)
+	futs, err := s.SubmitSignBatchOpts(keyID, req.Messages, opts)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -257,7 +383,11 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	fut, err := s.SubmitVerifyKey(req.KeyID, req.Message, req.Signature)
+	opts, ok := submitOptsFrom(w, r, req.DeadlineMs)
+	if !ok {
+		return
+	}
+	fut, err := s.SubmitVerifyKeyOpts(req.KeyID, req.Message, req.Signature, opts)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -300,6 +430,14 @@ func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch exceeds the 256-pair cap"})
 		return
 	}
+	base, ok := submitOptsFrom(w, r, req.DeadlineMs)
+	if !ok {
+		return
+	}
+	opts, ok := batchSubmitOpts(w, base, len(req.Messages), req.DeadlinesMs, req.Tenants)
+	if !ok {
+		return
+	}
 	keyID := req.KeyID
 	if keyID == "" && len(s.router.shards) == 1 {
 		keyID = s.router.shards[0].keyID
@@ -307,7 +445,7 @@ func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	var futs []*Future
 	if keyID != "" {
 		var err error
-		futs, err = s.SubmitVerifyBatchKey(keyID, req.Messages, req.Signatures)
+		futs, err = s.SubmitVerifyBatchKeyOpts(keyID, req.Messages, req.Signatures, opts)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -317,7 +455,11 @@ func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		// every shard, so pairs submit independently.
 		futs = make([]*Future, 0, len(req.Messages))
 		for i := range req.Messages {
-			fut, err := s.SubmitVerifyKey(keyID, req.Messages[i], req.Signatures[i])
+			memberOpts := base
+			if opts != nil {
+				memberOpts = opts[i]
+			}
+			fut, err := s.SubmitVerifyKeyOpts(keyID, req.Messages[i], req.Signatures[i], memberOpts)
 			if err != nil {
 				writeError(w, err)
 				return
@@ -346,6 +488,10 @@ func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	opts, ok := submitOptsFrom(w, r, req.DeadlineMs)
+	if !ok {
+		return
+	}
 	if len(req.Seeds) > 256 {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seeds exceed the 256-key cap"})
 		return
@@ -362,9 +508,9 @@ func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 		// Deterministic path: one key per seed triple, Count ignored.
 		futs = make([]*Future, 0, len(req.Seeds))
 		for _, tr := range req.Seeds {
-			fut, err := s.SubmitKeyGen(&core.SeedTriple{
+			fut, err := s.SubmitKeyGenOpts(&core.SeedTriple{
 				SKSeed: tr.SKSeed, SKPRF: tr.SKPRF, PKSeed: tr.PKSeed,
-			})
+			}, opts)
 			if err != nil {
 				writeError(w, err)
 				return
@@ -374,7 +520,7 @@ func (s *Service) handleKeyGen(w http.ResponseWriter, r *http.Request) {
 	} else {
 		futs = make([]*Future, 0, req.Count)
 		for i := 0; i < req.Count; i++ {
-			fut, err := s.SubmitKeyGen(nil)
+			fut, err := s.SubmitKeyGenOpts(nil, opts)
 			if err != nil {
 				writeError(w, err)
 				return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // batchJob is one flushed batch on its way through the router.
@@ -162,6 +163,7 @@ func (p *pool) runBatch(ctx context.Context, key *PrivateKey, keyID string, j *b
 		}
 		return
 	}
+	fillScheduling(job, live)
 	out, err := p.backend.RunBatch(ctx, key, job)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -188,11 +190,46 @@ func (p *pool) runBatch(ctx context.Context, key *PrivateKey, keyID string, j *b
 	}
 }
 
+// fillScheduling attaches the batch's advisory deadline/tenant metadata so
+// proxying backends (service/remote) can forward it to a leaf's scheduler.
+// Deadlines are snapshotted as remaining milliseconds at dispatch (floored
+// at 1ms: the work was admitted, so a leaf should not pre-reject it over
+// transit time). Both slices stay nil when no message needs them.
+func fillScheduling(job *Job, live []*request) {
+	now := time.Now()
+	for i, r := range live {
+		if !r.deadline.IsZero() {
+			if job.DeadlinesMs == nil {
+				job.DeadlinesMs = make([]int64, len(live))
+			}
+			ms := int64(r.deadline.Sub(now) / time.Millisecond)
+			if ms < 1 {
+				ms = 1
+			}
+			job.DeadlinesMs[i] = ms
+		}
+		if r.tenant != nil && r.tenant.name != DefaultTenant {
+			if job.Tenants == nil {
+				job.Tenants = make([]string, len(live))
+			}
+			job.Tenants[i] = r.tenant.name
+		}
+	}
+}
+
 // validate resolves malformed requests individually and returns the rest.
+// A request whose client deadline passed while it waited in the queue is
+// dropped here with ErrDeadlineExceeded — after admission but before any
+// backend work is spent on it.
 func (p *pool) validate(key *PrivateKey, j *batchJob) []*request {
 	n := key.Params.N
+	now := time.Now()
 	live := j.reqs[:0:0]
 	for _, r := range j.reqs {
+		if !r.deadline.IsZero() && !r.deadline.After(now) {
+			r.resolve(Result{}, ErrDeadlineExceeded)
+			continue
+		}
 		switch j.kind {
 		case KindSign:
 			if len(r.msg) == 0 {

@@ -139,11 +139,12 @@ func (b *Backend) RunBatch(ctx context.Context, key *service.PrivateKey, job *se
 	if keyID == "" {
 		return nil, fmt.Errorf("remote: backend %s used before Warm", b.Name())
 	}
+	sched := schedMeta{deadlinesMs: job.DeadlinesMs, tenants: job.Tenants}
 	switch job.Kind {
 	case service.KindSign:
-		return b.f.runSign(ctx, b.leaf, job.Msgs)
+		return b.f.runSign(ctx, b.leaf, job.Msgs, sched)
 	case service.KindVerify:
-		return b.f.runVerify(ctx, b.leaf, job.Msgs, job.Sigs)
+		return b.f.runVerify(ctx, b.leaf, job.Msgs, job.Sigs, sched)
 	case service.KindKeyGen:
 		return b.f.runKeyGen(ctx, b.leaf, key.Params, job.Seeds)
 	}
@@ -224,7 +225,7 @@ type attemptResult struct {
 // successful attempt resolves the batch; losing attempts are canceled
 // (the leaf may still complete the work — that redundancy is the price of
 // the tail cut, which is why the hedge budget is capped).
-func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte) (*service.BatchOutput, error) {
+func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte, sched schedMeta) (*service.BatchOutput, error) {
 	runCtx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
@@ -245,7 +246,7 @@ func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte) (*ser
 			actx, cancel := context.WithTimeout(runCtx, f.opts.RequestTimeout)
 			defer cancel()
 			t0 := time.Now()
-			sigs, err := f.tr.signBatch(actx, l.url, keyID(l), msgs)
+			sigs, err := f.tr.signBatch(actx, l.url, keyID(l), msgs, sched)
 			dur := time.Since(t0)
 			l.inflight.Add(-1)
 			canceled := runCtx.Err() != nil && err != nil
@@ -400,7 +401,7 @@ func (f *Fleet) runFailover(ctx context.Context, primary *leaf,
 	return lastErr
 }
 
-func (f *Fleet) runVerify(ctx context.Context, primary *leaf, msgs, sigs [][]byte) (*service.BatchOutput, error) {
+func (f *Fleet) runVerify(ctx context.Context, primary *leaf, msgs, sigs [][]byte, sched schedMeta) (*service.BatchOutput, error) {
 	primary.primarySends.Add(1)
 	var out *service.BatchOutput
 	err := f.runFailover(ctx, primary, func(actx context.Context, l *leaf) error {
@@ -408,7 +409,7 @@ func (f *Fleet) runVerify(ctx context.Context, primary *leaf, msgs, sigs [][]byt
 		kid := l.keyID
 		l.mu.Unlock()
 		t0 := time.Now()
-		ok, err := f.tr.verifyBatch(actx, l.url, kid, msgs, sigs)
+		ok, err := f.tr.verifyBatch(actx, l.url, kid, msgs, sigs, sched)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,22 @@ import (
 type signBatchReq struct {
 	Messages [][]byte `json:"messages"`
 	KeyID    string   `json:"key_id,omitempty"`
+	// DeadlinesMs / Tenants forward the front end's per-message scheduling
+	// metadata (remaining deadline in ms, tenant API key) so the leaf's EDF
+	// ordering and per-tenant accounting see the same attributes the front
+	// end admitted the work under.
+	DeadlinesMs []int64  `json:"deadlines_ms,omitempty"`
+	Tenants     []string `json:"tenants,omitempty"`
+}
+
+// schedMeta carries a proxied batch's per-message scheduling metadata
+// (from service.Job) to the wire encoders. Hedge and failover resends reuse
+// the same snapshot: the remaining-deadline values were taken at dispatch,
+// which slightly overstates the remaining time on a late resend — the leaf
+// still drops truly expired work itself.
+type schedMeta struct {
+	deadlinesMs []int64
+	tenants     []string
 }
 
 type signBatchResp struct {
@@ -31,6 +47,9 @@ type verifyBatchReq struct {
 	Messages   [][]byte `json:"messages"`
 	Signatures [][]byte `json:"signatures"`
 	KeyID      string   `json:"key_id,omitempty"`
+	// Scheduling forwarding with signBatchReq semantics.
+	DeadlinesMs []int64  `json:"deadlines_ms,omitempty"`
+	Tenants     []string `json:"tenants,omitempty"`
 }
 
 type verifyBatchResp struct {
@@ -208,9 +227,10 @@ func decodeResp(base string, resp *http.Response, out any) error {
 	return nil
 }
 
-func (t *transport) signBatch(ctx context.Context, base, keyID string, msgs [][]byte) ([][]byte, error) {
+func (t *transport) signBatch(ctx context.Context, base, keyID string, msgs [][]byte, sched schedMeta) ([][]byte, error) {
 	var out signBatchResp
-	if err := t.postJSON(ctx, base, "/v1/sign/batch", signBatchReq{Messages: msgs, KeyID: keyID}, &out); err != nil {
+	req := signBatchReq{Messages: msgs, KeyID: keyID, DeadlinesMs: sched.deadlinesMs, Tenants: sched.tenants}
+	if err := t.postJSON(ctx, base, "/v1/sign/batch", req, &out); err != nil {
 		return nil, err
 	}
 	if len(out.Signatures) != len(msgs) {
@@ -220,10 +240,11 @@ func (t *transport) signBatch(ctx context.Context, base, keyID string, msgs [][]
 	return out.Signatures, nil
 }
 
-func (t *transport) verifyBatch(ctx context.Context, base, keyID string, msgs, sigs [][]byte) ([]bool, error) {
+func (t *transport) verifyBatch(ctx context.Context, base, keyID string, msgs, sigs [][]byte, sched schedMeta) ([]bool, error) {
 	var out verifyBatchResp
-	if err := t.postJSON(ctx, base, "/v1/verify/batch",
-		verifyBatchReq{Messages: msgs, Signatures: sigs, KeyID: keyID}, &out); err != nil {
+	req := verifyBatchReq{Messages: msgs, Signatures: sigs, KeyID: keyID,
+		DeadlinesMs: sched.deadlinesMs, Tenants: sched.tenants}
+	if err := t.postJSON(ctx, base, "/v1/verify/batch", req, &out); err != nil {
 		return nil, err
 	}
 	if len(out.Valid) != len(msgs) {

@@ -45,6 +45,19 @@ func (sh *shard) retryAfter() time.Duration {
 	return retryEstimate(sh.gate.depth(), sh.weight())
 }
 
+// queueWait estimates how long newly admitted work waits behind the
+// shard's current backlog: outstanding messages over aggregate sigs/s.
+// Unlike retryAfter it is unclamped — an idle shard reports zero, so
+// deadline pre-rejection never refuses a tight deadline the shard could
+// actually meet.
+func (sh *shard) queueWait() time.Duration {
+	n, w := sh.gate.depth(), sh.weight()
+	if n <= 0 || w <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / w * float64(time.Second))
+}
+
 // retryEstimate converts an outstanding-message backlog and a sigs/s rate
 // into a clamped drain-time hint.
 func retryEstimate(n int64, w float64) time.Duration {

@@ -66,6 +66,15 @@ type Config struct {
 	// ShedPolicy selects what an over-limit shard does with the overflow
 	// (default RejectNewest).
 	ShedPolicy ShedPolicy
+	// TenantRate enables per-tenant fair queuing: each API key's admitted
+	// messages are charged against its own token bucket refilling at
+	// TenantRate messages/s, so a hot tenant exhausts its bucket instead of
+	// the shard queue. Zero disables rate limiting; per-tenant accounting in
+	// Stats stays on either way.
+	TenantRate float64
+	// TenantBurst caps each tenant's bucket (zero derives one second of
+	// TenantRate, floored at 8).
+	TenantBurst int
 	// DrainDeadline bounds how long Close waits for queued batches. Zero
 	// waits for a full drain; past the deadline, not-yet-started batches
 	// resolve ErrClosed.
@@ -125,6 +134,19 @@ func WithGlobalQueueLimit(n int) Option { return func(c *Config) { c.GlobalQueue
 // WithShedPolicy selects the overload behavior (default RejectNewest).
 func WithShedPolicy(p ShedPolicy) Option { return func(c *Config) { c.ShedPolicy = p } }
 
+// WithTenantRate enables per-tenant fair queuing: each API key's admitted
+// messages are charged against its own token bucket refilling at rate
+// messages/s, so one hot tenant runs out of tokens (429, Scope "tenant")
+// before it can fill a shard queue and starve its neighbors. Zero (the
+// default) disables rate limiting; per-tenant accounting in Stats stays on
+// either way.
+func WithTenantRate(rate float64) Option { return func(c *Config) { c.TenantRate = rate } }
+
+// WithTenantBurst caps each tenant's token bucket (default: one second of
+// TenantRate, floored at 8). A single batch larger than its tenant's burst
+// can never be admitted and fails with ErrBatchTooLarge.
+func WithTenantBurst(n int) Option { return func(c *Config) { c.TenantBurst = n } }
+
 // WithDrainDeadline bounds how long Close waits for queued batches before
 // abandoning them (their futures resolve ErrClosed). Zero waits forever.
 func WithDrainDeadline(d time.Duration) Option { return func(c *Config) { c.DrainDeadline = d } }
@@ -169,6 +191,7 @@ type Service struct {
 	cfg      Config
 	router   *router
 	batchers []*shardBatchers // indexed by shard id
+	tenants  *tenantRegistry
 
 	start time.Time
 }
@@ -235,7 +258,11 @@ func New(opts ...Option) (*Service, error) {
 		}
 		cfg.MaxBatch = best
 	}
-	s := &Service{cfg: cfg, router: rt, start: time.Now()}
+	s := &Service{
+		cfg: cfg, router: rt,
+		tenants: newTenantRegistry(cfg.TenantRate, cfg.TenantBurst),
+		start:   time.Now(),
+	}
 	for _, sh := range rt.shards {
 		sh := sh
 		flush := func(kind Kind, reqs []*request) {
@@ -291,14 +318,64 @@ func (s *Service) PublicKeyFor(keyID string) (*PublicKey, error) {
 	return &sh.key.PublicKey, nil
 }
 
-// admit charges one message against the global and shard admission gates,
-// applying the shed policy on overflow. On success the request carries a
-// release hook that refunds the slots when its future resolves.
+// SubmitOpts carries the optional scheduling attributes of one submission.
+// The zero value — no deadline, default tenant — behaves exactly like the
+// pre-deadline API.
+type SubmitOpts struct {
+	// Deadline is the client's absolute completion deadline (zero = none).
+	// Admission pre-rejects work whose estimated queue wait already exceeds
+	// it (429, Scope "deadline") and an already-expired deadline fails
+	// immediately with ErrDeadlineExceeded without consuming a queue slot;
+	// admitted work flushes EDF and is dropped unexecuted if it expires in
+	// the queue.
+	Deadline time.Time
+	// Tenant is the API key the work is charged to ("" = DefaultTenant).
+	// With WithTenantRate configured, each tenant's admissions draw from its
+	// own token bucket; per-tenant counters appear in Stats either way.
+	Tenant string
+}
+
+// prepare stamps the request with opts' scheduling attributes.
+func (s *Service) prepare(r *request, opts SubmitOpts) *request {
+	r.deadline = opts.Deadline
+	r.tenant = s.tenants.get(opts.Tenant)
+	return r
+}
+
+// admit charges one message against the tenant's token bucket and the
+// global and shard admission gates (applying the shed policy on overflow),
+// after pre-rejecting work that cannot meet its deadline: an expired
+// deadline fails with ErrDeadlineExceeded, and a deadline nearer than the
+// shard's estimated queue wait fails 429 — cheaper than queuing work that
+// would only be dropped later. On success the request carries a release
+// hook that refunds the slots when its future resolves.
 func (s *Service) admit(sh *shard, kind Kind, r *request) error {
+	now := time.Now()
+	t := r.tenant
+	if !r.deadline.IsZero() {
+		if !r.deadline.After(now) {
+			t.rejectedDeadline.Add(1)
+			return ErrDeadlineExceeded
+		}
+		if wait := sh.queueWait(); wait > 0 && now.Add(wait).After(r.deadline) {
+			t.rejectedDeadline.Add(1)
+			return &OverloadError{Scope: "deadline", RetryAfter: wait}
+		}
+	}
+	if t.bucket != nil {
+		if ok, wait := t.bucket.take(1, now); !ok {
+			t.rejectedRate.Add(1)
+			return &OverloadError{Scope: "tenant", Tenant: t.name, RetryAfter: wait}
+		}
+	}
 	rt := s.router
 	if !rt.global.tryAcquire(1) {
 		if !(s.cfg.ShedPolicy == DropOldestDeadline && s.shedOne(sh, kind) && rt.global.tryAcquire(1)) {
 			rt.rejectedGlobal.Add(1)
+			t.rejectedOverload.Add(1)
+			if t.bucket != nil {
+				t.bucket.refund(1)
+			}
 			return &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
 		}
 	}
@@ -306,6 +383,10 @@ func (s *Service) admit(sh *shard, kind Kind, r *request) error {
 		if !(s.cfg.ShedPolicy == DropOldestDeadline && s.shedOne(sh, kind) && sh.gate.tryAcquire(1)) {
 			rt.global.release(1)
 			sh.rejected.Add(1)
+			t.rejectedOverload.Add(1)
+			if t.bucket != nil {
+				t.bucket.refund(1)
+			}
 			return &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
 		}
 	}
@@ -313,18 +394,25 @@ func (s *Service) admit(sh *shard, kind Kind, r *request) error {
 		sh.gate.release(1)
 		rt.global.release(1)
 	}
+	r.enqueued = now
+	t.queued.Add(1)
+	t.admitted.Add(1)
 	return nil
 }
 
-// shedOne evicts the oldest still-coalescing request of the same kind from
-// the shard, resolving it with ErrOverloaded; its release refunds the slots
-// the caller is about to claim.
+// shedOne evicts the still-coalescing request of the same kind with the
+// nearest client deadline (oldest arrival when none carries one) from the
+// shard, resolving it with ErrOverloaded; its release refunds the slots the
+// caller is about to claim.
 func (s *Service) shedOne(sh *shard, kind Kind) bool {
-	old := s.batchers[sh.id].byKind(kind).evictOldest()
+	old := s.batchers[sh.id].byKind(kind).evictNearestDeadline()
 	if old == nil {
 		return false
 	}
 	sh.shed.Add(1)
+	if old.tenant != nil {
+		old.tenant.shed.Add(1)
+	}
 	old.resolve(Result{}, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()})
 	return true
 }
@@ -337,6 +425,14 @@ func (s *Service) submitTo(sh *shard, kind Kind, r *request) error {
 	if err := s.batchers[sh.id].byKind(kind).submit(r); err != nil {
 		r.release()
 		r.release = nil
+		// Undo the tenant accounting admit charged: the request was never
+		// queued, so resolve (which would drain it) will not run.
+		r.tenant.queued.Add(-1)
+		r.tenant.admitted.Add(-1)
+		if r.tenant.bucket != nil {
+			r.tenant.bucket.refund(1)
+		}
+		r.tenant = nil
 		return err
 	}
 	return nil
@@ -349,11 +445,18 @@ func (s *Service) SubmitSign(msg []byte) (*Future, error) { return s.SubmitSignK
 // SubmitSignKey queues one message for signing under a specific key domain
 // ("" routes to the least-loaded shard).
 func (s *Service) SubmitSignKey(keyID string, msg []byte) (*Future, error) {
+	return s.SubmitSignOpts(keyID, msg, SubmitOpts{})
+}
+
+// SubmitSignOpts is SubmitSignKey with scheduling attributes: a client
+// deadline (EDF flush ordering, admission pre-rejection) and a tenant the
+// work is charged to.
+func (s *Service) SubmitSignOpts(keyID string, msg []byte, opts SubmitOpts) (*Future, error) {
 	sh, err := s.router.shardFor(keyID)
 	if err != nil {
 		return nil, err
 	}
-	r := &request{msg: append([]byte(nil), msg...), fut: newFuture()}
+	r := s.prepare(&request{msg: append([]byte(nil), msg...), fut: newFuture()}, opts)
 	if err := s.submitTo(sh, KindSign, r); err != nil {
 		return nil, err
 	}
@@ -369,6 +472,19 @@ func (s *Service) SubmitSignKey(keyID string, msg []byte) (*Future, error) {
 // Admitted members are exempt from drop-oldest-deadline shedding, so
 // competing traffic cannot waste the batch by evicting one of them.
 func (s *Service) SubmitSignBatch(keyID string, msgs [][]byte) ([]*Future, error) {
+	return s.SubmitSignBatchOpts(keyID, msgs, nil)
+}
+
+// SubmitSignBatchOpts is SubmitSignBatch with per-member scheduling
+// attributes: opts is nil (all defaults) or exactly one entry per message.
+// Tenant charging is grouped and all-or-nothing like the slot admission —
+// either every member's tenant has tokens or the whole batch is rejected
+// with nothing charged; a member count above its tenant's burst can never
+// fit and fails ErrBatchTooLarge. Per-member deadlines do not pre-reject
+// the batch (all-or-nothing would reject every member for one stale
+// deadline); a member whose deadline expires in the queue resolves
+// ErrDeadlineExceeded individually before any signing work is spent on it.
+func (s *Service) SubmitSignBatchOpts(keyID string, msgs [][]byte, opts []SubmitOpts) ([]*Future, error) {
 	sh, err := s.router.shardFor(keyID)
 	if err != nil {
 		return nil, err
@@ -376,41 +492,123 @@ func (s *Service) SubmitSignBatch(keyID string, msgs [][]byte) ([]*Future, error
 	if len(msgs) == 0 {
 		return nil, nil
 	}
-	rt := s.router
-	k := int64(len(msgs))
-	if (sh.gate.limit > 0 && k > sh.gate.limit) || (rt.global.limit > 0 && k > rt.global.limit) {
-		return nil, fmt.Errorf("%w: %d messages against caps shard=%d global=%d",
-			ErrBatchTooLarge, k, sh.gate.limit, rt.global.limit)
-	}
-	if !rt.global.tryAcquire(k) {
-		rt.rejectedGlobal.Add(1)
-		return nil, &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
-	}
-	if !sh.gate.tryAcquire(k) {
-		rt.global.release(k)
-		sh.rejected.Add(1)
-		return nil, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
-	}
-	release := func() {
-		sh.gate.release(1)
-		rt.global.release(1)
+	members, undoBatch, err := s.admitBatch(sh, len(msgs), opts, "messages")
+	if err != nil {
+		return nil, err
 	}
 	futs := make([]*Future, 0, len(msgs))
 	b := s.batchers[sh.id].byKind(KindSign)
 	for i, msg := range msgs {
-		r := &request{msg: append([]byte(nil), msg...), fut: newFuture(), release: release, pinned: true}
+		r := members[i]
+		r.msg = append([]byte(nil), msg...)
 		if err := b.submit(r); err != nil {
-			// Closed mid-batch: refund the slots of the never-submitted
-			// tail; already-submitted futures resolve through the drain.
+			// Closed mid-batch: refund the slots and tenant accounting of the
+			// never-submitted tail; already-submitted futures resolve through
+			// the drain.
 			r.release = nil
-			for j := i; j < len(msgs); j++ {
-				release()
-			}
+			r.tenant = nil
+			undoBatch(i)
 			return nil, err
 		}
 		futs = append(futs, r.fut)
 	}
 	return futs, nil
+}
+
+// admitBatch performs all-or-nothing admission of an n-member batch into
+// the shard: the capacity-fit check, grouped per-tenant token charging and
+// the global+shard gate acquisition. On success it returns one prepared
+// pinned request per member (deadline/tenant/release stamped; msg/sig left
+// for the caller) plus an undo hook that refunds members [from, n) after a
+// mid-submit failure. On rejection nothing stays charged.
+func (s *Service) admitBatch(sh *shard, n int, opts []SubmitOpts, unit string) ([]*request, func(from int), error) {
+	if opts != nil && len(opts) != n {
+		return nil, nil, fmt.Errorf("service: %d %s but %d submit options", n, unit, len(opts))
+	}
+	rt := s.router
+	k := int64(n)
+	if (sh.gate.limit > 0 && k > sh.gate.limit) || (rt.global.limit > 0 && k > rt.global.limit) {
+		return nil, nil, fmt.Errorf("%w: %d %s against caps shard=%d global=%d",
+			ErrBatchTooLarge, k, unit, sh.gate.limit, rt.global.limit)
+	}
+
+	// Group the members by tenant for all-or-nothing bucket charging.
+	perMember := make([]*tenantState, n)
+	var states []*tenantState
+	var counts []int64
+	index := make(map[*tenantState]int)
+	for i := 0; i < n; i++ {
+		var name string
+		if opts != nil {
+			name = opts[i].Tenant
+		}
+		t := s.tenants.get(name)
+		perMember[i] = t
+		j, ok := index[t]
+		if !ok {
+			j = len(states)
+			index[t] = j
+			states = append(states, t)
+			counts = append(counts, 0)
+		}
+		counts[j]++
+	}
+	now := time.Now()
+	for j, t := range states {
+		if t.bucket != nil && float64(counts[j]) > t.bucket.burst {
+			return nil, nil, fmt.Errorf("%w: %d %s against tenant %q burst %d",
+				ErrBatchTooLarge, counts[j], unit, t.name, int(t.bucket.burst))
+		}
+	}
+	if t, wait := chargeCounts(states, counts, now); t != nil {
+		t.rejectedRate.Add(1)
+		return nil, nil, &OverloadError{Scope: "tenant", Tenant: t.name, RetryAfter: wait}
+	}
+	if !rt.global.tryAcquire(k) {
+		refundCounts(states, counts)
+		rt.rejectedGlobal.Add(1)
+		for _, t := range states {
+			t.rejectedOverload.Add(1)
+		}
+		return nil, nil, &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
+	}
+	if !sh.gate.tryAcquire(k) {
+		rt.global.release(k)
+		refundCounts(states, counts)
+		sh.rejected.Add(1)
+		for _, t := range states {
+			t.rejectedOverload.Add(1)
+		}
+		return nil, nil, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
+	}
+
+	release := func() {
+		sh.gate.release(1)
+		rt.global.release(1)
+	}
+	members := make([]*request, n)
+	for i := 0; i < n; i++ {
+		t := perMember[i]
+		t.queued.Add(1)
+		t.admitted.Add(1)
+		r := &request{fut: newFuture(), release: release, pinned: true, enqueued: now, tenant: t}
+		if opts != nil {
+			r.deadline = opts[i].Deadline
+		}
+		members[i] = r
+	}
+	undo := func(from int) {
+		for j := from; j < n; j++ {
+			release()
+			t := perMember[j]
+			t.queued.Add(-1)
+			t.admitted.Add(-1)
+			if t.bucket != nil {
+				t.bucket.refund(1)
+			}
+		}
+	}
+	return members, undo, nil
 }
 
 // SubmitVerify queues one (message, signature) pair for coalesced
@@ -422,17 +620,25 @@ func (s *Service) SubmitSignBatch(keyID string, msgs [][]byte) ([]*Future, error
 // not be consulted (overload, shutdown) and no shard validated it, the
 // future resolves with that error instead of a false negative.
 func (s *Service) SubmitVerify(msg, sig []byte) (*Future, error) {
+	return s.SubmitVerifyOpts(msg, sig, SubmitOpts{})
+}
+
+// SubmitVerifyOpts is SubmitVerify with scheduling attributes. The
+// multi-shard fan-out admits one request per shard consulted, so a tenant
+// with rate limiting configured is charged one token per shard — name the
+// key domain via SubmitVerifyKeyOpts to spend exactly one.
+func (s *Service) SubmitVerifyOpts(msg, sig []byte, opts SubmitOpts) (*Future, error) {
 	shards := s.router.shards
 	// Copy once; the per-shard requests share the buffers (never mutated).
 	msg = append([]byte(nil), msg...)
 	sig = append([]byte(nil), sig...)
 	if len(shards) == 1 {
-		return s.submitVerifyShared(shards[0], msg, sig)
+		return s.submitVerifyShared(shards[0], msg, sig, opts)
 	}
 	subs := make([]*Future, 0, len(shards))
 	var submitErr error
 	for _, sh := range shards {
-		fut, err := s.submitVerifyShared(sh, msg, sig)
+		fut, err := s.submitVerifyShared(sh, msg, sig, opts)
 		if err != nil {
 			if submitErr == nil {
 				submitErr = err
@@ -478,19 +684,20 @@ func (s *Service) SubmitVerify(msg, sig []byte) (*Future, error) {
 // SubmitVerifyKey queues one (message, signature) pair for verification
 // against a specific key domain ("" falls back to SubmitVerify semantics).
 func (s *Service) SubmitVerifyKey(keyID string, msg, sig []byte) (*Future, error) {
+	return s.SubmitVerifyKeyOpts(keyID, msg, sig, SubmitOpts{})
+}
+
+// SubmitVerifyKeyOpts is SubmitVerifyKey with scheduling attributes.
+func (s *Service) SubmitVerifyKeyOpts(keyID string, msg, sig []byte, opts SubmitOpts) (*Future, error) {
 	if keyID == "" {
-		return s.SubmitVerify(msg, sig)
+		return s.SubmitVerifyOpts(msg, sig, opts)
 	}
 	sh, err := s.router.shardFor(keyID)
 	if err != nil {
 		return nil, err
 	}
-	return s.submitVerifyTo(sh, msg, sig)
-}
-
-func (s *Service) submitVerifyTo(sh *shard, msg, sig []byte) (*Future, error) {
 	return s.submitVerifyShared(sh,
-		append([]byte(nil), msg...), append([]byte(nil), sig...))
+		append([]byte(nil), msg...), append([]byte(nil), sig...), opts)
 }
 
 // SubmitVerifyBatchKey queues a set of (message, signature) pairs for
@@ -503,6 +710,14 @@ func (s *Service) submitVerifyTo(sh *shard, msg, sig []byte) (*Future, error) {
 // against drop-oldest-deadline shedding. Keeping the pairs together also
 // lets the backend lane-batch their hash work across signatures.
 func (s *Service) SubmitVerifyBatchKey(keyID string, msgs, sigs [][]byte) ([]*Future, error) {
+	return s.SubmitVerifyBatchKeyOpts(keyID, msgs, sigs, nil)
+}
+
+// SubmitVerifyBatchKeyOpts is SubmitVerifyBatchKey with per-member
+// scheduling attributes (nil, or one entry per pair), with the same
+// all-or-nothing tenant charging and per-member deadline semantics as
+// SubmitSignBatchOpts.
+func (s *Service) SubmitVerifyBatchKeyOpts(keyID string, msgs, sigs [][]byte, opts []SubmitOpts) ([]*Future, error) {
 	if len(msgs) != len(sigs) {
 		return nil, fmt.Errorf("service: %d messages but %d signatures", len(msgs), len(sigs))
 	}
@@ -513,42 +728,23 @@ func (s *Service) SubmitVerifyBatchKey(keyID string, msgs, sigs [][]byte) ([]*Fu
 	if len(msgs) == 0 {
 		return nil, nil
 	}
-	rt := s.router
-	k := int64(len(msgs))
-	if (sh.gate.limit > 0 && k > sh.gate.limit) || (rt.global.limit > 0 && k > rt.global.limit) {
-		return nil, fmt.Errorf("%w: %d pairs against caps shard=%d global=%d",
-			ErrBatchTooLarge, k, sh.gate.limit, rt.global.limit)
-	}
-	if !rt.global.tryAcquire(k) {
-		rt.rejectedGlobal.Add(1)
-		return nil, &OverloadError{Scope: "global", RetryAfter: rt.globalRetryAfter()}
-	}
-	if !sh.gate.tryAcquire(k) {
-		rt.global.release(k)
-		sh.rejected.Add(1)
-		return nil, &OverloadError{Scope: "shard", RetryAfter: sh.retryAfter()}
-	}
-	release := func() {
-		sh.gate.release(1)
-		rt.global.release(1)
+	members, undoBatch, err := s.admitBatch(sh, len(msgs), opts, "pairs")
+	if err != nil {
+		return nil, err
 	}
 	futs := make([]*Future, 0, len(msgs))
 	b := s.batchers[sh.id].byKind(KindVerify)
 	for i := range msgs {
-		r := &request{
-			msg:     append([]byte(nil), msgs[i]...),
-			sig:     append([]byte(nil), sigs[i]...),
-			fut:     newFuture(),
-			release: release,
-			pinned:  true,
-		}
+		r := members[i]
+		r.msg = append([]byte(nil), msgs[i]...)
+		r.sig = append([]byte(nil), sigs[i]...)
 		if err := b.submit(r); err != nil {
-			// Closed mid-batch: refund the slots of the never-submitted
-			// tail; already-submitted futures resolve through the drain.
+			// Closed mid-batch: refund the slots and tenant accounting of the
+			// never-submitted tail; already-submitted futures resolve through
+			// the drain.
 			r.release = nil
-			for j := i; j < len(msgs); j++ {
-				release()
-			}
+			r.tenant = nil
+			undoBatch(i)
 			return nil, err
 		}
 		futs = append(futs, r.fut)
@@ -558,8 +754,8 @@ func (s *Service) SubmitVerifyBatchKey(keyID string, msgs, sigs [][]byte) ([]*Fu
 
 // submitVerifyShared submits without copying: the caller guarantees the
 // buffers stay untouched until the future resolves.
-func (s *Service) submitVerifyShared(sh *shard, msg, sig []byte) (*Future, error) {
-	r := &request{msg: msg, sig: sig, fut: newFuture()}
+func (s *Service) submitVerifyShared(sh *shard, msg, sig []byte, opts SubmitOpts) (*Future, error) {
+	r := s.prepare(&request{msg: msg, sig: sig, fut: newFuture()}, opts)
 	if err := s.submitTo(sh, KindVerify, r); err != nil {
 		return nil, err
 	}
@@ -570,6 +766,11 @@ func (s *Service) submitVerifyShared(sh *shard, msg, sig []byte) (*Future, error
 // generation is independent of the shard's signing key). With a nil seed
 // triple, fresh seeds are drawn from crypto/rand.
 func (s *Service) SubmitKeyGen(seed *core.SeedTriple) (*Future, error) {
+	return s.SubmitKeyGenOpts(seed, SubmitOpts{})
+}
+
+// SubmitKeyGenOpts is SubmitKeyGen with scheduling attributes.
+func (s *Service) SubmitKeyGenOpts(seed *core.SeedTriple, opts SubmitOpts) (*Future, error) {
 	var tr core.SeedTriple
 	if seed != nil {
 		// Copy the components: the future resolves asynchronously, and a
@@ -587,7 +788,7 @@ func (s *Service) SubmitKeyGen(seed *core.SeedTriple) (*Future, error) {
 		}
 		tr = core.SeedTriple{SKSeed: buf[:n], SKPRF: buf[n : 2*n], PKSeed: buf[2*n:]}
 	}
-	r := &request{seed: tr, fut: newFuture()}
+	r := s.prepare(&request{seed: tr, fut: newFuture()}, opts)
 	if err := s.submitTo(s.router.route(), KindKeyGen, r); err != nil {
 		return nil, err
 	}

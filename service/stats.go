@@ -194,6 +194,14 @@ type Stats struct {
 	Devices       []BackendStats `json:"devices"` // historic field name
 	Shards        []ShardStats   `json:"shards"`
 
+	// TenantRate / TenantBurst echo the per-tenant fair-queuing
+	// configuration (rate 0 = rate limiting off); Tenants lists every API
+	// key's accounting, sorted by name. At least the default tenant appears
+	// once any request has been submitted.
+	TenantRate  float64       `json:"tenant_rate,omitempty"`
+	TenantBurst int           `json:"tenant_burst,omitempty"`
+	Tenants     []TenantStats `json:"tenants,omitempty"`
+
 	// RemoteLeaves lists per-leaf health for remote-backed pools (empty on
 	// an all-local fleet).
 	RemoteLeaves []RemoteLeafStats `json:"remote_leaves,omitempty"`
@@ -209,6 +217,9 @@ func (s *Service) Stats() Stats {
 		GlobalQueueDepth: s.router.global.depth(),
 		GlobalQueueLimit: s.router.global.limit,
 		RejectedTotal:    s.router.rejectedGlobal.Load(),
+		TenantRate:       s.tenants.rate,
+		TenantBurst:      int(s.tenants.burst),
+		Tenants:          s.tenants.snapshot(),
 	}
 	for _, sb := range s.batchers {
 		st.PendingRequests += sb.sign.depth() + sb.verify.depth() + sb.keygen.depth()
