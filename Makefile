@@ -10,12 +10,13 @@ vet:
 
 # The default test path runs vet first, mirroring the tier-1 gate, then
 # race-checks the packages whose workers share the lane-batch buffers and
-# queues (service fleet, simulated GPU engine, cpuref pools, the shared
-# hypertree memo cache, and the cross-signature batched verification
-# primitives in wots/fors/xmss/hypertree).
+# queues (service fleet incl. remote proxies + dynamic membership, the
+# fault injector, simulated GPU engine, cpuref pools, the shared hypertree
+# memo cache, and the cross-signature batched verification primitives in
+# wots/fors/xmss/hypertree).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./service/... ./internal/gpu/... ./internal/cpuref/... ./internal/spx/treecache/... ./internal/spx/ ./internal/spx/wots/ ./internal/spx/fors/ ./internal/spx/xmss/ ./internal/spx/hypertree/
+	$(GO) test -race ./service/... ./internal/faultinject/ ./internal/gpu/... ./internal/cpuref/... ./internal/spx/treecache/... ./internal/spx/ ./internal/spx/wots/ ./internal/spx/fors/ ./internal/spx/xmss/ ./internal/spx/hypertree/
 
 # bench regenerates the paper evaluation as machine-readable JSON so the
 # perf trajectory can be tracked across PRs (BENCH_*.json).
@@ -39,15 +40,20 @@ bench-compare: bench
 serve: build
 	$(GO) run ./cmd/herosign-serve
 
-# fleet-demo runs the in-process fleet-of-fleets scenario: three leaf
-# servers behind a remote-proxy front end, one leaf killed mid-run, with
-# assertions on ejection latency, goodput recovery, tail latency, the hedge
-# budget and signature byte-identity.
+# fleet-demo runs the in-process fleet-of-fleets scenario with
+# authenticated dynamic membership: three leaf servers announce themselves
+# to a zero-backend front end, one leaf crashes mid-run (ejected by health,
+# retired by lease expiry), a fourth joins late and then leaves cleanly,
+# with assertions on ejection latency, goodput recovery, tail latency, the
+# hedge budget, the membership event log and signature byte-identity.
 fleet-demo: build
 	$(GO) run ./examples/fleet-demo
 
-# fleet-smoke is the two-process integration test: a leaf herosign-serve
-# and a remote-only front end over real TCP, 200 verified signs, graceful
-# SIGTERM drain on both.
+# fleet-smoke is the multi-process integration test over real TCP: a
+# static leaf+front lane (200 verified signs, SIGTERM drains), then a
+# chaos lane — a -fleet-dynamic front end, three leaves joining with a
+# shared -fleet-secret (one slowed by -chaos fault injection), one leaf
+# SIGKILLed mid-lane (ejection + lease-expired retirement, signs keep
+# succeeding via failover) and one departing cleanly via SIGTERM leave.
 fleet-smoke:
 	./scripts/fleet_smoke.sh

@@ -12,6 +12,10 @@
 //	               [-max-batch 64] [-deadline 2ms] [-key hexfile]
 //	               [-remote "http://leaf1:8080,http://leaf2:8080"] [-hedge-p 95]
 //	               [-replica-of http://peer:8080]
+//	               [-fleet-secret s|@file] [-fleet-tls-cert f] [-fleet-tls-key f]
+//	               [-fleet-tls-ca f] [-fleet-dynamic]
+//	               [-join http://front:8080] [-advertise http://me:8081]
+//	               [-chaos "mode=latency;path=/v1/sign;latency=50ms"]
 //
 // The -gpus list creates one simulated-GPU backend per entry; repeating a
 // device adds a second worker that shares its cached, tuned signer.
@@ -50,6 +54,30 @@
 // match, catching replicas launched with the wrong key file before a front
 // end hedges requests across them.
 //
+// -fleet-secret arms fleet authentication: every front↔leaf request (proxy
+// calls, health probes, key-domain verification, membership traffic)
+// carries an HMAC header with a replay-window nonce; requests without a
+// valid header are rejected 401 and counted under auth_rejected in
+// /v1/stats. A value starting with @ is read from that file. On a leaf
+// (-join, or a standalone server) the secret protects all of /v1/*; on a
+// front end /v1/* stays public for clients and only /v1/fleet/* (and the
+// front's outgoing requests) use the secret. -fleet-tls-cert/-key serve
+// HTTPS and double as the client certificate when dialing leaves;
+// -fleet-tls-ca pins the peer CA (on a server it also demands client
+// certificates — mutual TLS).
+//
+// -fleet-dynamic turns the front end into a membership registrar: leaves
+// join with POST /v1/fleet/join, heartbeat a lease, and leave with DELETE
+// /v1/fleet/leave, appearing in and disappearing from the routing set
+// without a restart. A leaf started with -join announces itself to that
+// front end (advertising -advertise, default http://127.0.0.1<addr>) and
+// sends its leave on SIGTERM before the drain begins. Membership and
+// health transitions surface as fleet_events in the front's /v1/stats.
+//
+// -chaos arms development fault injection on this server's own handler
+// (latency, resets, error bursts — see internal/faultinject for the rule
+// grammar). Never set it in production.
+//
 // On SIGINT or SIGTERM the server stops accepting requests and drains
 // in-flight batches up to the -drain deadline before exiting.
 //
@@ -60,6 +88,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
@@ -73,6 +103,7 @@ import (
 	"time"
 
 	"herosign"
+	"herosign/internal/faultinject"
 	"herosign/service"
 	"herosign/service/remote"
 )
@@ -97,19 +128,39 @@ func main() {
 	remotes := flag.String("remote", "", "comma-separated leaf herosign-serve URLs to proxy as backends")
 	hedgeP := flag.Int("hedge-p", 0, "hedge remote batches past this percentile of recent latencies (0 = no hedging)")
 	replicaOf := flag.String("replica-of", "", "peer URL whose /v1/keys catalog this server must match")
+	fleetSecret := flag.String("fleet-secret", "", "shared fleet-auth secret (@file reads it from a file)")
+	fleetTLSCert := flag.String("fleet-tls-cert", "", "TLS certificate file: served by this server, presented as client cert to leaves")
+	fleetTLSKey := flag.String("fleet-tls-key", "", "TLS key file for -fleet-tls-cert")
+	fleetTLSCA := flag.String("fleet-tls-ca", "", "CA file pinning fleet peers (server side: require client certs)")
+	fleetDynamic := flag.Bool("fleet-dynamic", false, "accept dynamic fleet membership: leaves join/leave via /v1/fleet/*")
+	joinURL := flag.String("join", "", "front-end URL to join as a dynamic-membership leaf")
+	advertise := flag.String("advertise", "", "advertised base URL for -join (default http://127.0.0.1<addr>)")
+	chaos := flag.String("chaos", "", "development fault-injection rules for this server's handler (see internal/faultinject)")
 	flag.Parse()
 
 	p, err := herosign.ParamsByName(*paramsName)
 	if err != nil {
 		fatal(err)
 	}
-	if *gpus == "" && *cpuref == 0 && *remotes == "" {
-		fatal(fmt.Errorf("no backends configured: set -gpus, -cpuref and/or -remote"))
+	if *gpus == "" && *cpuref == 0 && *remotes == "" && !*fleetDynamic {
+		fatal(fmt.Errorf("no backends configured: set -gpus, -cpuref, -remote and/or -fleet-dynamic"))
 	}
 	policy, err := service.ShedPolicyByName(*shed)
 	if err != nil {
 		fatal(err)
 	}
+	secret, err := loadFleetSecret(*fleetSecret)
+	if err != nil {
+		fatal(err)
+	}
+	tlsCfg, err := fleetClientTLS(*fleetTLSCert, *fleetTLSKey, *fleetTLSCA)
+	if err != nil {
+		fatal(err)
+	}
+	// Auth posture: a leaf (it joins a fleet, or serves standalone with a
+	// secret) authenticates all of /v1/*; a front end keeps /v1/* public
+	// for clients — only /v1/fleet/* and its outgoing requests are authed.
+	isFront := *fleetDynamic || *remotes != ""
 
 	opts := []herosign.ServiceOption{
 		herosign.WithServiceParams(p),
@@ -128,6 +179,12 @@ func main() {
 	}
 	if *maxBatch > 0 {
 		opts = append(opts, herosign.WithServiceMaxBatch(*maxBatch))
+	}
+	if secret != "" && (*joinURL != "" || !isFront) {
+		opts = append(opts, service.WithFleetSecret(secret))
+	}
+	if *fleetDynamic {
+		opts = append(opts, service.WithDynamicMembership())
 	}
 
 	var devs []*herosign.GPU
@@ -149,17 +206,30 @@ func main() {
 			opts = append(opts, herosign.WithBackend(herosign.NewCPURefBackend(*cpuref)))
 		}
 	}
+	fleetOpts := remote.Options{
+		HedgePercentile: *hedgeP,
+		Secret:          secret,
+		TLSConfig:       tlsCfg,
+	}
 	if *remotes != "" {
 		if *keyFile == "" {
 			fatal(fmt.Errorf("-remote requires -key: the leaves must be started with the same key file so the derived key domains line up"))
 		}
-		fleet, err := remote.NewFleet(strings.Split(*remotes, ","), remote.Options{
-			HedgePercentile: *hedgeP,
-		})
+		fleet, err := remote.NewFleet(strings.Split(*remotes, ","), fleetOpts)
 		if err != nil {
 			fatal(err)
 		}
 		opts = append(opts, herosign.WithBackend(fleet.Backends()...))
+	}
+	var dynFleet *remote.Fleet
+	if *fleetDynamic {
+		if *keyFile == "" {
+			fatal(fmt.Errorf("-fleet-dynamic requires -key: joining leaves must be started with the same key file so the derived key domains line up"))
+		}
+		dynFleet, err = remote.NewDynamicFleet(fleetOpts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if *keyFile != "" {
@@ -198,21 +268,154 @@ func main() {
 			base64.StdEncoding.EncodeToString(sh.PublicKey.Bytes()))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	var handler http.Handler = svc.Handler()
+	var registrar *remote.Registrar
+	if dynFleet != nil {
+		registrar = remote.NewRegistrar(svc, dynFleet, remote.RegistrarOptions{})
+		mux := http.NewServeMux()
+		mux.Handle("/v1/fleet/", registrar.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Println("fleet membership: dynamic (join via POST /v1/fleet/join)")
+	}
+	if *chaos != "" {
+		rules, err := faultinject.ParseRules(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		inj := faultinject.New()
+		for _, r := range rules {
+			inj.Arm(r)
+		}
+		handler = inj.Middleware(handler)
+		fmt.Printf("chaos: %d fault rule(s) armed — do not run this in production\n", len(rules))
+	}
+
+	var announcer *remote.Announcer
+	if *joinURL != "" {
+		adv := *advertise
+		if adv == "" {
+			if !strings.HasPrefix(*addr, ":") {
+				fatal(fmt.Errorf("-join needs -advertise when -addr is not a bare :port"))
+			}
+			adv = "http://127.0.0.1" + *addr
+		}
+		client := &http.Client{}
+		if tlsCfg != nil {
+			client.Transport = &http.Transport{TLSClientConfig: tlsCfg}
+		}
+		announcer, err = remote.NewAnnouncer(remote.AnnouncerOptions{
+			FrontURL: *joinURL,
+			SelfURL:  adv,
+			Secret:   secret,
+			Client:   client,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	if *fleetTLSCA != "" && *fleetTLSCert != "" {
+		pool, err := fleetCAPool(*fleetTLSCA)
+		if err != nil {
+			fatal(err)
+		}
+		srv.TLSConfig = &tls.Config{ClientCAs: pool, ClientAuth: tls.RequireAndVerifyClientCert}
+	}
 	go func() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		<-ctx.Done()
+		// Leave the fleet BEFORE draining: the front end stops routing new
+		// work to this leaf first, so the drain deadline is spent finishing
+		// accepted batches instead of racing fresh arrivals.
+		if announcer != nil {
+			leaveCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := announcer.Leave(leaveCtx); err != nil {
+				fmt.Println("fleet leave:", err)
+			} else {
+				fmt.Println("left fleet; draining")
+			}
+			cancel()
+		}
 		fmt.Println("shutting down: draining coalescers and backend pools")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+	if announcer != nil {
+		announcer.Start()
+	}
+	serveErr := error(nil)
+	if *fleetTLSCert != "" && *fleetTLSKey != "" {
+		serveErr = srv.ListenAndServeTLS(*fleetTLSCert, *fleetTLSKey)
+	} else {
+		serveErr = srv.ListenAndServe()
+	}
+	if serveErr != nil && serveErr != http.ErrServerClosed {
+		fatal(serveErr)
 	}
 	_ = svc.Close()
+	if registrar != nil {
+		_ = registrar.Close()
+	}
 	fmt.Println("drained; bye")
+}
+
+// loadFleetSecret resolves -fleet-secret: empty, a literal, or @file.
+func loadFleetSecret(v string) (string, error) {
+	if !strings.HasPrefix(v, "@") {
+		return v, nil
+	}
+	raw, err := os.ReadFile(strings.TrimPrefix(v, "@"))
+	if err != nil {
+		return "", fmt.Errorf("read fleet secret: %w", err)
+	}
+	s := strings.TrimSpace(string(raw))
+	if s == "" {
+		return "", fmt.Errorf("fleet secret file %s is empty", strings.TrimPrefix(v, "@"))
+	}
+	return s, nil
+}
+
+// fleetClientTLS builds the dial-side TLS config: the CA pins fleet peers
+// and the cert/key pair doubles as this server's client certificate.
+func fleetClientTLS(cert, key, ca string) (*tls.Config, error) {
+	if cert == "" && key == "" && ca == "" {
+		return nil, nil
+	}
+	cfg := &tls.Config{}
+	if ca != "" {
+		pool, err := fleetCAPool(ca)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RootCAs = pool
+	}
+	if cert != "" && key != "" {
+		pair, err := tls.LoadX509KeyPair(cert, key)
+		if err != nil {
+			return nil, fmt.Errorf("load fleet TLS keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{pair}
+	}
+	return cfg, nil
+}
+
+func fleetCAPool(path string) (*x509.CertPool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read fleet CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(raw) {
+		return nil, fmt.Errorf("fleet CA %s contains no certificates", path)
+	}
+	return pool, nil
 }
 
 // checkReplicaOf compares this server's key catalog to a peer's: same

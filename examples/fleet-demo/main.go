@@ -1,27 +1,39 @@
-// Fleet demo: a two-level fleet-of-fleets losing a leaf mid-run.
+// Fleet demo: a two-level fleet-of-fleets with authenticated dynamic
+// membership, losing a leaf mid-run and admitting another.
 //
 // Three in-process "leaf" herosign-serve instances (each a complete signing
-// service with its own simulated-GPU fleet and HTTP front end) sit behind
-// one front-end service whose only backends are remote proxies
-// (herosign/service/remote). All four share one master key, so the derived
-// key domains line up and any leaf can serve any batch.
+// service with its own simulated-GPU fleet and HTTP front end) announce
+// themselves to a front-end service that starts with ZERO backends and
+// admits leaves at runtime through the fleet membership protocol
+// (herosign/service/remote: Registrar on the front, Announcer on each
+// leaf). Every fleet-internal request — proxy calls, probes, join/leave —
+// is HMAC-authenticated with a shared secret. All leaves share one master
+// key, so the derived key domains line up and any leaf can serve any batch.
 //
 // The demo drives a closed-loop workload through the front end and:
 //
-//  1. measures steady-state goodput and p99 latency on the full 3-leaf
+//  1. verifies an UNSIGNED join request is rejected 401 and counted, while
+//     the three announcers join successfully and the front grows from zero
+//     to three backends without a restart;
+//  2. measures steady-state goodput and p99 latency on the full 3-leaf
 //     fleet;
-//  2. kills one leaf mid-run (its HTTP listener closes; in-flight and new
-//     connections fail) and asserts the health checker ejects it within
-//     one probe interval plus slack — while the failover path reroutes
-//     every affected batch, so the client sees no hard errors, only
-//     (possibly) 429s from admission control;
-//  3. asserts goodput with the surviving leaves recovers to >= 60% of the
-//     3-leaf rate and p99 stays bounded;
-//  4. asserts hedged retries stayed within their budget (<= 10% of primary
+//  3. crashes one leaf mid-run (its HTTP listener closes AND its announcer
+//     stops heartbeating — no leave is sent) and asserts the health
+//     checker ejects it within one probe interval plus slack, then the
+//     registrar retires the dead member when its lease expires — while
+//     failover reroutes every affected batch, so the client sees no hard
+//     errors, only (possibly) 429s from admission control;
+//  4. starts a FOURTH leaf after the crash; it joins, is verified against
+//     the front's key domain, and serves traffic before the run ends;
+//  5. asserts goodput recovers to >= 60% of the 3-leaf rate and p99 stays
+//     bounded, and hedged retries stayed within budget (<= 10% of primary
 //     sends);
-//  5. byte-compares a signature served through the proxy path against the
-//     CPU reference — the KAT cross-check that remoting changes nothing
-//     about the bytes.
+//  6. has the late leaf LEAVE cleanly and asserts the full membership
+//     story — joined, ejected, lease-expired, left — is visible in the
+//     front end's /v1/stats event log;
+//  7. byte-compares a signature served through the proxy path against the
+//     CPU reference — the KAT cross-check that remoting and membership
+//     churn change nothing about the bytes.
 //
 // Exit status 0 means every assertion held.
 package main
@@ -32,9 +44,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +58,8 @@ import (
 	"herosign/service"
 	"herosign/service/remote"
 )
+
+const fleetSecret = "fleet-demo-shared-secret"
 
 func main() {
 	workers := flag.Int("workers", 16, "closed-loop client goroutines")
@@ -61,12 +78,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Three leaves: complete signing services behind real HTTP listeners,
-	// all started from the same master key.
-	fmt.Println("starting 3 leaf servers...")
-	leafSrvs := make([]*httptest.Server, 3)
-	leafURLs := make([]string, 3)
-	for i := range leafSrvs {
+	// A leaf is a complete signing service behind a real HTTP listener,
+	// requiring fleet auth on every endpoint.
+	startLeaf := func() (*herosign.Service, *httptest.Server) {
 		dev, err := herosign.GPUByName("RTX 4090")
 		if err != nil {
 			log.Fatal(err)
@@ -76,35 +90,93 @@ func main() {
 			herosign.WithServiceKey(sk),
 			herosign.WithServiceDevices(dev),
 			herosign.WithQueueLimit(herosign.AutoQueueLimit),
+			service.WithFleetSecret(fleetSecret),
 		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer leaf.Close()
-		leafSrvs[i] = httptest.NewServer(leaf.Handler())
-		leafURLs[i] = leafSrvs[i].URL
-		fmt.Printf("  leaf %d at %s\n", i, leafURLs[i])
+		return leaf, httptest.NewServer(leaf.Handler())
 	}
 
-	fleet, err := remote.NewFleet(leafURLs, remote.Options{
-		ProbeInterval:   *probe,
-		HedgePercentile: *hedgeP,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The front end starts with ZERO backends: leaves are admitted at
+	// runtime through the membership protocol.
 	front, err := herosign.NewService(
 		herosign.WithServiceParams(p),
 		herosign.WithServiceKey(sk),
-		herosign.WithBackend(fleet.Backends()...),
 		herosign.WithQueueLimit(herosign.AutoQueueLimit),
+		service.WithDynamicMembership(),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer front.Close()
-	fmt.Printf("front end up: 1 shard, %d remote backends, probe=%v hedge-p%d\n\n",
-		len(leafURLs), *probe, *hedgeP)
+
+	// MinWeight is raised well above the default so a just-admitted leaf
+	// with no observed throughput immediately gets a meaningful share of
+	// picks and warms quickly.
+	fleet, err := remote.NewDynamicFleet(remote.Options{
+		ProbeInterval:   *probe,
+		HedgePercentile: *hedgeP,
+		Secret:          fleetSecret,
+		MinWeight:       25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	registrar := remote.NewRegistrar(front, fleet, remote.RegistrarOptions{
+		LeaseTTL:      2 * time.Second,
+		SweepInterval: 250 * time.Millisecond,
+	})
+	defer registrar.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/fleet/", registrar.Handler())
+	mux.Handle("/", front.Handler())
+	frontSrv := httptest.NewServer(mux)
+	defer frontSrv.Close()
+	fmt.Printf("front end up at %s: 0 backends, probe=%v hedge-p%d, dynamic membership\n",
+		frontSrv.URL, *probe, *hedgeP)
+
+	// An unsigned join must bounce off the fleet auth.
+	resp, err := http.Post(frontSrv.URL+"/v1/fleet/join", "application/json",
+		strings.NewReader(`{"url":"http://127.0.0.1:1"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	unsignedJoinStatus := resp.StatusCode
+	fmt.Printf("unsigned join attempt: HTTP %d\n\n", unsignedJoinStatus)
+
+	startAnnouncer := func(selfURL string) *remote.Announcer {
+		ann, err := remote.NewAnnouncer(remote.AnnouncerOptions{
+			FrontURL:      frontSrv.URL,
+			SelfURL:       selfURL,
+			Secret:        fleetSecret,
+			RetryInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ann.Start()
+		return ann
+	}
+
+	fmt.Println("starting 3 leaf servers, announcing to the front end...")
+	leafSrvs := make([]*httptest.Server, 3)
+	leafURLs := make([]string, 3)
+	anns := make([]*remote.Announcer, 3)
+	for i := range leafSrvs {
+		leaf, srv := startLeaf()
+		defer leaf.Close()
+		leafSrvs[i] = srv
+		leafURLs[i] = srv.URL
+		anns[i] = startAnnouncer(srv.URL)
+		fmt.Printf("  leaf %d at %s\n", i, leafURLs[i])
+	}
+	if !waitForMembers(registrar, 3, 10*time.Second) {
+		die("leaves did not all join within 10s (members: %v)", registrar.Members())
+	}
+	fmt.Printf("all 3 leaves admitted: members=%v\n\n", registrar.Members())
 
 	// Closed-loop workload. Workers retry 429s after the server's own
 	// estimate; anything else is a hard client-visible error and fails the
@@ -138,6 +210,11 @@ func main() {
 					mu.Lock()
 					samples = append(samples, sample{at: time.Now(), lat: time.Since(t0)})
 					mu.Unlock()
+					// Think time breaks the closed loop's lockstep: without it all
+					// workers resubmit the instant a batch resolves, every
+					// flush finds the first pool idle, and the least-
+					// outstanding dispatch pins 100% of traffic to one leaf.
+					time.Sleep(time.Duration(rand.Intn(20)) * time.Millisecond)
 				case ctx.Err() != nil:
 					return
 				case isOverload(err):
@@ -180,20 +257,34 @@ func main() {
 		die("no completions in phase 1")
 	}
 
-	// Phase 2: kill leaf 0 mid-run.
+	// Phase 2: crash leaf 0 mid-run — listener closes, heartbeats stop, no
+	// leave is sent. Health ejects it fast; the lease expiring retires it.
 	killAt := time.Now()
+	anns[0].Stop()
 	leafSrvs[0].CloseClientConnections()
 	leafSrvs[0].Close()
-	fmt.Printf("\nkilled leaf 0 at t=%v\n", killAt.Round(time.Millisecond).Sub(p1start))
+	fmt.Printf("\ncrashed leaf 0 at t=%v (listener closed, heartbeats stopped)\n",
+		killAt.Round(time.Millisecond).Sub(p1start))
 
 	ejectedAt := waitForEjection(front, leafURLs[0], killAt, 2**probe+2*time.Second)
 	if ejectedAt.IsZero() {
-		die("leaf 0 was not ejected after the kill")
+		die("leaf 0 was not ejected after the crash")
 	}
-	fmt.Printf("leaf 0 ejected %v after the kill (probe interval %v)\n",
+	fmt.Printf("leaf 0 ejected %v after the crash (probe interval %v)\n",
 		ejectedAt.Sub(killAt).Round(time.Millisecond), *probe)
 
-	// Give the fleet a moment to settle, then measure the survivors.
+	// A late joiner: a leaf started only now, long after the front end.
+	lateLeaf, lateSrv := startLeaf()
+	defer lateLeaf.Close()
+	defer lateSrv.Close()
+	lateAnn := startAnnouncer(lateSrv.URL)
+	if !waitForMembers(registrar, 3, 10*time.Second) {
+		die("late leaf did not join (members: %v)", registrar.Members())
+	}
+	fmt.Printf("late leaf joined at %s\n", lateSrv.URL)
+
+	// Give the fleet a moment to settle, then measure the survivors plus
+	// the newcomer.
 	time.Sleep(time.Second)
 	p2start := time.Now()
 	time.Sleep(*phase2)
@@ -202,7 +293,25 @@ func main() {
 	wg.Wait()
 
 	rate2, p99two := window(p2start, p2end)
-	fmt.Printf("phase 2 (2 leaves): %.1f sigs/s, p99 %v\n", rate2, p99two.Round(time.Millisecond))
+	fmt.Printf("phase 2 (2 survivors + late joiner): %.1f sigs/s, p99 %v\n",
+		rate2, p99two.Round(time.Millisecond))
+
+	// The dead leaf's lease has long expired; the clean path: the late
+	// leaf leaves before assertions run.
+	var lateSends int64
+	for _, rl := range front.Stats().RemoteLeaves {
+		if rl.URL == lateSrv.URL {
+			lateSends = rl.PrimarySends
+		}
+	}
+	if !waitForEvent(front, "lease-expired", 5*time.Second) {
+		die("crashed leaf's lease never expired")
+	}
+	lctx, lcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := lateAnn.Leave(lctx); err != nil {
+		die("late leaf leave: %v", err)
+	}
+	lcancel()
 
 	// Assertions.
 	fails := 0
@@ -215,20 +324,28 @@ func main() {
 		fmt.Printf("  [%s] %s\n", status, fmt.Sprintf(format, args...))
 	}
 	fmt.Println("\nassertions:")
+	st := front.Stats()
+	check(unsignedJoinStatus == http.StatusUnauthorized && st.AuthRejected >= 1,
+		"unsigned join rejected (HTTP %d) and counted (auth_rejected=%d)",
+		unsignedJoinStatus, st.AuthRejected)
 	check(hardErrors.Load() == 0,
-		"no hard client errors across the kill (got %d; 429s are fine: %d)",
+		"no hard client errors across the crash (got %d; 429s are fine: %d)",
 		hardErrors.Load(), overloads.Load())
 	check(ejectedAt.Sub(killAt) <= 2**probe+time.Second,
 		"ejection within ~one probe interval: %v <= %v",
 		ejectedAt.Sub(killAt).Round(time.Millisecond), 2**probe+time.Second)
 	check(rate2 >= 0.6*rate3,
-		"2-leaf goodput %.1f >= 60%% of 3-leaf %.1f", rate2, 0.6*rate3)
+		"post-crash goodput %.1f >= 60%% of 3-leaf %.1f", rate2, 0.6*rate3)
 	check(p99two <= 10*p99three || p99two <= 2*time.Second,
-		"p99 stays bounded after the kill: %v (3-leaf %v)",
+		"p99 stays bounded after the crash: %v (3-leaf %v)",
 		p99two.Round(time.Millisecond), p99three.Round(time.Millisecond))
+	check(lateSends > 0,
+		"late-joining leaf served traffic: %d primary sends", lateSends)
+	check(len(registrar.Members()) == 2,
+		"membership settled at the 2 survivors: %v", registrar.Members())
 
 	var primaries, hedges, hedgeWins, failovers int64
-	for _, rl := range front.Stats().RemoteLeaves {
+	for _, rl := range st.RemoteLeaves {
 		primaries += rl.PrimarySends
 		hedges += rl.HedgesSent
 		hedgeWins += rl.HedgeWins
@@ -239,6 +356,21 @@ func main() {
 	check(primaries == 0 || float64(hedges) <= 0.10*float64(primaries)+1,
 		"hedge volume %d <= 10%% of %d primary sends", hedges, primaries)
 	fmt.Printf("  hedge wins: %d, failovers: %d\n", hedgeWins, failovers)
+
+	// The whole membership story must be visible in the stats event log.
+	events := front.Stats().FleetEvents
+	fmt.Println("\nmembership events:")
+	for _, e := range events {
+		fmt.Printf("  %s %-13s %s  %s\n", e.Time.Format("15:04:05.000"), e.Type, e.URL, e.Note)
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Type]++
+	}
+	check(counts["joined"] >= 4, "4 joins logged (3 initial + late): %d", counts["joined"])
+	check(counts["ejected"] >= 1, "crash ejection logged: %d", counts["ejected"])
+	check(counts["lease-expired"] >= 1, "dead leaf retired by lease expiry: %d", counts["lease-expired"])
+	check(counts["left"] >= 1, "clean leave logged: %d", counts["left"])
 
 	// KAT cross-check: one more signature through the proxy path must be
 	// byte-identical to the CPU reference.
@@ -260,6 +392,33 @@ func main() {
 		die("%d assertion(s) failed", fails)
 	}
 	fmt.Println("\nfleet-demo: all assertions passed")
+}
+
+// waitForMembers polls the registrar until it reports n members.
+func waitForMembers(r *remote.Registrar, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(r.Members()) == n {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+// waitForEvent polls the front end's stats until an event of the given type
+// appears in the membership log.
+func waitForEvent(front *herosign.Service, typ string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, e := range front.Stats().FleetEvents {
+			if e.Type == typ {
+				return true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
 }
 
 // waitForEjection polls the front end's stats until the named leaf reports

@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"ok": "yes", "pad": strings.Repeat("x", 256)})
+	})
+}
+
+func clientFor(in *Injector, ts *httptest.Server) *http.Client {
+	return &http.Client{Transport: in.RoundTripper(ts.Client().Transport)}
+}
+
+func TestRoundTripperPassThrough(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	resp, err := clientFor(in, ts).Get(ts.URL + "/v1/sign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pass-through status = %d", resp.StatusCode)
+	}
+	if in.TotalHits() != 0 {
+		t.Fatalf("no rules armed but TotalHits = %d", in.TotalHits())
+	}
+}
+
+func TestRoundTripperStatusAndPathSelection(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	in.Arm(Rule{Mode: ModeStatus, Status: 503, PathPrefix: "/v1/sign"})
+	c := clientFor(in, ts)
+
+	resp, err := c.Get(ts.URL + "/v1/sign/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || !strings.Contains(string(body), "injected") {
+		t.Fatalf("matched path: status %d body %q, want injected 503", resp.StatusCode, body)
+	}
+
+	// A non-matching path is untouched.
+	resp, err = c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("unmatched path faulted: %d", resp.StatusCode)
+	}
+	if got := in.Hits("status"); got != 1 {
+		t.Fatalf("Hits(status) = %d, want 1", got)
+	}
+}
+
+func TestRoundTripperReset(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	in.Arm(Rule{Mode: ModeReset})
+	_, err := clientFor(in, ts).Post(ts.URL+"/v1/sign", "application/json", strings.NewReader("{}"))
+	if err == nil {
+		t.Fatal("reset rule produced no error")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset error = %v, want ECONNRESET", err)
+	}
+}
+
+func TestRoundTripperLatency(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	in.Arm(Rule{Mode: ModeLatency, Latency: 60 * time.Millisecond})
+	t0 := time.Now()
+	resp, err := clientFor(in, ts).Get(ts.URL + "/v1/sign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("latency rule added only %v", d)
+	}
+}
+
+func TestRoundTripperTruncate(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	in.Arm(Rule{Mode: ModeTruncate})
+	resp, err := clientFor(in, ts).Get(ts.URL + "/v1/sign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if jerr := json.NewDecoder(resp.Body).Decode(&out); jerr == nil {
+		t.Fatal("truncated body decoded cleanly")
+	}
+}
+
+func TestRoundTripperBlackholeHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	in.Arm(Rule{Mode: ModeBlackhole})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/sign", nil)
+	t0 := time.Now()
+	_, err := clientFor(in, ts).Do(req)
+	if err == nil {
+		t.Fatal("blackhole returned a response")
+	}
+	if d := time.Since(t0); d < 40*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("blackhole held for %v, want ~context deadline", d)
+	}
+}
+
+func TestMaxHitsAndDisarm(t *testing.T) {
+	ts := httptest.NewServer(okHandler())
+	defer ts.Close()
+	in := New()
+	disarm := in.Arm(Rule{Mode: ModeStatus, Status: 500, MaxHits: 2})
+	c := clientFor(in, ts)
+	codes := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		resp, err := c.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	if codes[0] != 500 || codes[1] != 500 || codes[2] != 200 || codes[3] != 200 {
+		t.Fatalf("max-hits rule fired wrong: %v", codes)
+	}
+	disarm() // already expired; must be safe
+
+	in.Arm(Rule{Mode: ModeStatus, Status: 500})
+	in.Reset()
+	resp, err := c.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("Reset left a rule armed: %d", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareStatusAndReset(t *testing.T) {
+	in := New()
+	ts := httptest.NewServer(in.Middleware(okHandler()))
+	defer ts.Close()
+
+	disarm := in.Arm(Rule{Mode: ModeStatus, Status: 502, PathPrefix: "/v1/sign"})
+	resp, err := http.Get(ts.URL + "/v1/sign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 502 {
+		t.Fatalf("middleware status = %d, want 502", resp.StatusCode)
+	}
+	disarm()
+
+	in.Arm(Rule{Mode: ModeReset, PathPrefix: "/v1/sign"})
+	if _, err := http.Get(ts.URL + "/v1/sign"); err == nil {
+		t.Fatal("middleware reset returned a clean response")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("mode=latency;path=/v1/sign;latency=200ms;jitter=50ms;p=0.3,mode=status;status=503;max=20;for=2s;host=leaf:1234;name=burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	r0, r1 := rules[0], rules[1]
+	if r0.Mode != ModeLatency || r0.PathPrefix != "/v1/sign" ||
+		r0.Latency != 200*time.Millisecond || r0.Jitter != 50*time.Millisecond || r0.Probability != 0.3 {
+		t.Fatalf("rule 0 parsed wrong: %+v", r0)
+	}
+	if r1.Mode != ModeStatus || r1.Status != 503 || r1.MaxHits != 20 ||
+		r1.Duration != 2*time.Second || r1.Host != "leaf:1234" || r1.Name != "burst" {
+		t.Fatalf("rule 1 parsed wrong: %+v", r1)
+	}
+
+	for _, bad := range []string{
+		"path=/v1/sign",            // missing mode
+		"mode=explode",             // unknown mode
+		"mode=latency;p=1.5",       // probability out of range
+		"mode=latency;latency=abc", // bad duration
+		"mode=latency;zap=1",       // unknown key
+		"mode=latency;latency",     // not k=v
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) accepted", bad)
+		}
+	}
+}

@@ -123,21 +123,31 @@ func autoLimit(capacity int) int64 {
 }
 
 // gate is a bounded admission counter: n admitted-but-unresolved messages
-// against a fixed limit (0 = unbounded).
+// against a limit (0 = unbounded). The limit is atomic so a
+// dynamic-membership router can re-derive auto caps as backends join and
+// leave while admissions race through.
 type gate struct {
-	limit int64
+	limit atomic.Int64
 	n     atomic.Int64
 }
 
+// cap returns the current admission limit (0 = unbounded).
+func (g *gate) cap() int64 { return g.limit.Load() }
+
+// setCap installs a new admission limit. Work admitted under the old cap
+// keeps its slots; the new cap governs admissions from here on.
+func (g *gate) setCap(limit int64) { g.limit.Store(limit) }
+
 // tryAcquire admits k messages unless that would exceed the limit.
 func (g *gate) tryAcquire(k int64) bool {
-	if g.limit <= 0 {
+	lim := g.limit.Load()
+	if lim <= 0 {
 		g.n.Add(k)
 		return true
 	}
 	for {
 		cur := g.n.Load()
-		if cur+k > g.limit {
+		if cur+k > lim {
 			return false
 		}
 		if g.n.CompareAndSwap(cur, cur+k) {

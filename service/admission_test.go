@@ -17,14 +17,14 @@ func TestRetryEstimateClamps(t *testing.T) {
 		w    float64
 		want time.Duration
 	}{
-		{0, 100, 50 * time.Millisecond},    // nothing queued -> floor
-		{10, 0, 50 * time.Millisecond},     // no weight estimate -> floor
-		{-5, 100, 50 * time.Millisecond},   // negative depth (racy read) -> floor
-		{1, 1000, 50 * time.Millisecond},   // 1ms true estimate -> floor
-		{100, 100, time.Second},            // linear region
-		{500, 100, 5 * time.Second},        // linear region
-		{1_000_000, 1, time.Minute},        // absurd backlog -> cap
-		{100, 0.001, time.Minute},          // near-zero weight -> cap
+		{0, 100, 50 * time.Millisecond},  // nothing queued -> floor
+		{10, 0, 50 * time.Millisecond},   // no weight estimate -> floor
+		{-5, 100, 50 * time.Millisecond}, // negative depth (racy read) -> floor
+		{1, 1000, 50 * time.Millisecond}, // 1ms true estimate -> floor
+		{100, 100, time.Second},          // linear region
+		{500, 100, 5 * time.Second},      // linear region
+		{1_000_000, 1, time.Minute},      // absurd backlog -> cap
+		{100, 0.001, time.Minute},        // near-zero weight -> cap
 	}
 	for _, c := range cases {
 		if got := retryEstimate(c.n, c.w); got != c.want {
@@ -40,11 +40,11 @@ func TestAutoLimitFloor(t *testing.T) {
 		capacity int
 		want     int64
 	}{
-		{0, minAutoQueueLimit},   // zero-capacity hint must stay bounded
-		{-4, minAutoQueueLimit},  // nonsense hint
-		{1, minAutoQueueLimit},   // tiny hint floors
-		{8, minAutoQueueLimit},   // 2*8 == floor
-		{9, 18},                  // above the floor: twice the capacity
+		{0, minAutoQueueLimit},  // zero-capacity hint must stay bounded
+		{-4, minAutoQueueLimit}, // nonsense hint
+		{1, minAutoQueueLimit},  // tiny hint floors
+		{8, minAutoQueueLimit},  // 2*8 == floor
+		{9, 18},                 // above the floor: twice the capacity
 		{256, 512},
 	}
 	for _, c := range cases {
@@ -114,8 +114,8 @@ func TestAutoQueueLimitSingleShard(t *testing.T) {
 func TestGlobalLimitBelowShardLimit(t *testing.T) {
 	svc := newTestService(t,
 		WithShards(2),
-		WithQueueLimit(100),      // roomy shard gates
-		WithGlobalQueueLimit(3),  // but a tight global gate
+		WithQueueLimit(100),                             // roomy shard gates
+		WithGlobalQueueLimit(3),                         // but a tight global gate
 		WithMaxBatch(100), WithFlushDeadline(time.Hour), // hold admits open
 	)
 	defer svc.Close()

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FleetAuthHeader carries the fleet's node-to-node request authenticator:
+//
+//	X-Herosign-Fleet-Auth: v1:<unix-ms>:<nonce-hex>:<hmac-hex>
+//
+// where the MAC is HMAC-SHA256 over (method, path, timestamp, nonce) under
+// the shared fleet secret. The timestamp bounds the replay window and the
+// nonce makes every header single-use inside it.
+const FleetAuthHeader = "X-Herosign-Fleet-Auth"
+
+// fleetAuthWindow is how far a request's timestamp may sit from the
+// verifier's clock. Nonces are remembered for the same window, so a
+// captured header cannot be replayed: inside the window the nonce cache
+// rejects it, outside the timestamp check does.
+const fleetAuthWindow = 30 * time.Second
+
+// fleetAuthMaxNonces caps the replay cache. At the default window a cache
+// this size absorbs >100k authenticated requests/s before eviction could
+// matter; past it the oldest nonces are dropped (their timestamps are near
+// the window edge anyway).
+const fleetAuthMaxNonces = 1 << 16
+
+// FleetAuth authenticates fleet-internal HTTP traffic with a shared
+// secret: the front end signs every request it sends a leaf (proxy calls,
+// health probes, key-domain verification, membership traffic) and each
+// receiver verifies the header with a constant-time compare, a bounded
+// clock-skew window and a replay-nonce cache. It is the minimal
+// authenticated transport for deployments that terminate TLS elsewhere (or
+// stack on top of mutual TLS for defense in depth).
+type FleetAuth struct {
+	secret []byte
+	window time.Duration
+
+	mu    sync.Mutex
+	seen  map[string]time.Time // nonce -> expiry
+	sweep time.Time
+
+	rejected atomic.Int64
+}
+
+// NewFleetAuth builds the authenticator for a shared secret. The secret is
+// an opaque operator-chosen string; every node of one fleet must use the
+// same value.
+func NewFleetAuth(secret string) *FleetAuth {
+	return &FleetAuth{
+		secret: []byte(secret),
+		window: fleetAuthWindow,
+		seen:   make(map[string]time.Time),
+	}
+}
+
+// mac computes the v1 authenticator for one request signature input.
+func (a *FleetAuth) mac(method, path string, tsMs int64, nonce string) []byte {
+	h := hmac.New(sha256.New, a.secret)
+	fmt.Fprintf(h, "herosign-fleet-v1\n%s\n%s\n%d\n%s", method, path, tsMs, nonce)
+	return h.Sum(nil)
+}
+
+// Sign stamps req with a fresh authentication header.
+func (a *FleetAuth) Sign(req *http.Request) {
+	var nb [12]byte
+	_, _ = rand.Read(nb[:])
+	nonce := hex.EncodeToString(nb[:])
+	ts := time.Now().UnixMilli()
+	mac := a.mac(req.Method, req.URL.Path, ts, nonce)
+	req.Header.Set(FleetAuthHeader, fmt.Sprintf("v1:%d:%s:%s", ts, nonce, hex.EncodeToString(mac)))
+}
+
+// Authenticate verifies req's header: format, clock-skew window, MAC
+// (constant time) and nonce freshness, in an order that never reveals
+// through timing which earlier check failed a forged header.
+func (a *FleetAuth) Authenticate(r *http.Request) error {
+	raw := r.Header.Get(FleetAuthHeader)
+	if raw == "" {
+		return fmt.Errorf("missing %s header", FleetAuthHeader)
+	}
+	parts := strings.Split(raw, ":")
+	if len(parts) != 4 || parts[0] != "v1" {
+		return fmt.Errorf("malformed %s header", FleetAuthHeader)
+	}
+	ts, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("malformed %s timestamp", FleetAuthHeader)
+	}
+	nonce, macHex := parts[2], parts[3]
+	got, err := hex.DecodeString(macHex)
+	if err != nil {
+		return fmt.Errorf("malformed %s mac", FleetAuthHeader)
+	}
+	want := a.mac(r.Method, r.URL.Path, ts, nonce)
+	if !hmac.Equal(got, want) {
+		return fmt.Errorf("bad %s mac", FleetAuthHeader)
+	}
+	now := time.Now()
+	sent := time.UnixMilli(ts)
+	if sent.Before(now.Add(-a.window)) || sent.After(now.Add(a.window)) {
+		return fmt.Errorf("%s timestamp outside the %s replay window", FleetAuthHeader, a.window)
+	}
+	if !a.admitNonce(nonce, now) {
+		return fmt.Errorf("replayed %s nonce", FleetAuthHeader)
+	}
+	return nil
+}
+
+// admitNonce records a first-seen nonce and rejects repeats inside the
+// replay window.
+func (a *FleetAuth) admitNonce(nonce string, now time.Time) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if exp, ok := a.seen[nonce]; ok && exp.After(now) {
+		return false
+	}
+	// Amortized sweep: drop expired entries at most once per window half.
+	if now.After(a.sweep) || len(a.seen) >= fleetAuthMaxNonces {
+		for n, exp := range a.seen {
+			if !exp.After(now) {
+				delete(a.seen, n)
+			}
+		}
+		a.sweep = now.Add(a.window / 2)
+	}
+	if len(a.seen) >= fleetAuthMaxNonces {
+		// Still full of live nonces: drop arbitrary entries rather than
+		// unbounded growth; the timestamp window still bounds replays.
+		for n := range a.seen {
+			delete(a.seen, n)
+			if len(a.seen) < fleetAuthMaxNonces {
+				break
+			}
+		}
+	}
+	a.seen[nonce] = now.Add(a.window)
+	return true
+}
+
+// Rejected reports how many requests the middleware refused with 401.
+func (a *FleetAuth) Rejected() int64 { return a.rejected.Load() }
+
+// Middleware wraps next so every request must carry a valid fleet
+// authenticator; failures are answered 401 and counted (see the
+// auth_rejected field of /v1/stats).
+func (a *FleetAuth) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := a.Authenticate(r); err != nil {
+			a.rejected.Add(1)
+			writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "fleet auth: " + err.Error()})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// AuthClient is a small authenticated HTTP helper for fleet-internal
+// control traffic (membership joins, heartbeats): it signs each request
+// when an authenticator is configured and passes through untouched
+// otherwise.
+type AuthClient struct {
+	Client *http.Client
+	Auth   *FleetAuth // nil = unauthenticated
+}
+
+// Do signs and sends one request.
+func (c *AuthClient) Do(req *http.Request) (*http.Response, error) {
+	if c.Auth != nil {
+		c.Auth.Sign(req)
+	}
+	cl := c.Client
+	if cl == nil {
+		cl = http.DefaultClient
+	}
+	return cl.Do(req)
+}

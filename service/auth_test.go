@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFleetAuthRoundTrip covers the header lifecycle: a signed request
+// authenticates, and each tampering axis — MAC, timestamp window, nonce
+// replay — is rejected.
+func TestFleetAuthRoundTrip(t *testing.T) {
+	a := NewFleetAuth("topsecret")
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/sign", nil)
+	a.Sign(req)
+	if err := a.Authenticate(req); err != nil {
+		t.Fatalf("fresh signed request rejected: %v", err)
+	}
+
+	// Replay: the identical header (same nonce) must be rejected.
+	if err := a.Authenticate(req); err == nil {
+		t.Fatal("replayed nonce accepted")
+	}
+
+	// Missing header.
+	bare := httptest.NewRequest(http.MethodPost, "/v1/sign", nil)
+	if err := a.Authenticate(bare); err == nil {
+		t.Fatal("request without header accepted")
+	}
+
+	// Tampered MAC.
+	bad := httptest.NewRequest(http.MethodPost, "/v1/sign", nil)
+	a.Sign(bad)
+	h := bad.Header.Get(FleetAuthHeader)
+	last := h[len(h)-1]
+	flip := "0"
+	if last == '0' {
+		flip = "1"
+	}
+	bad.Header.Set(FleetAuthHeader, h[:len(h)-1]+flip)
+	if err := a.Authenticate(bad); err == nil {
+		t.Fatal("tampered MAC accepted")
+	}
+
+	// A different path invalidates the MAC (method/path are signed).
+	moved := httptest.NewRequest(http.MethodPost, "/v1/keygen", nil)
+	signedFor := httptest.NewRequest(http.MethodPost, "/v1/sign", nil)
+	a.Sign(signedFor)
+	moved.Header.Set(FleetAuthHeader, signedFor.Header.Get(FleetAuthHeader))
+	if err := a.Authenticate(moved); err == nil {
+		t.Fatal("header signed for another path accepted")
+	}
+
+	// Wrong secret.
+	other := NewFleetAuth("othersecret")
+	cross := httptest.NewRequest(http.MethodPost, "/v1/sign", nil)
+	other.Sign(cross)
+	if err := a.Authenticate(cross); err == nil {
+		t.Fatal("request signed with a different secret accepted")
+	}
+}
+
+// TestFleetAuthWindow: a timestamp outside the replay window is rejected
+// even with a valid MAC.
+func TestFleetAuthWindow(t *testing.T) {
+	a := NewFleetAuth("topsecret")
+	a.window = 50 * time.Millisecond
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	a.Sign(req)
+	time.Sleep(80 * time.Millisecond)
+	if err := a.Authenticate(req); err == nil {
+		t.Fatal("request outside the replay window accepted")
+	}
+}
+
+// TestFleetSecretProtectsHandler is the leaf posture end to end: with
+// WithFleetSecret every /v1/* request needs the header, rejections come
+// back 401 and are counted in /v1/stats.
+func TestFleetSecretProtectsHandler(t *testing.T) {
+	svc := newTestService(t, WithFleetSecret("fleet-pw"))
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Unauthenticated: rejected 401.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /v1/stats: got %d, want 401 (%s)", resp.StatusCode, body)
+	}
+
+	// Wrong secret: rejected 401.
+	wrong := NewFleetAuth("not-the-pw")
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	wrong.Sign(req)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-secret /v1/stats: got %d, want 401", resp.StatusCode)
+	}
+
+	// Signed: served, and the stats body counts the two rejections.
+	auth := NewFleetAuth("fleet-pw")
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	auth.Sign(req)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("signed /v1/stats: got %d, want 200", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.AuthRejected < 2 {
+		t.Fatalf("auth_rejected = %d, want >= 2", st.AuthRejected)
+	}
+
+	// Signing also works through a signed POST (body endpoints).
+	sreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sign",
+		strings.NewReader(`{"message":"aGVsbG8="}`))
+	sreq.Header.Set("Content-Type", "application/json")
+	auth.Sign(sreq)
+	resp, err = http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("signed /v1/sign: got %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStatsHooks: registered hooks see and may extend every snapshot.
+func TestStatsHooks(t *testing.T) {
+	svc := newTestService(t)
+	defer svc.Close()
+	svc.AddStatsHook(func(st *Stats) {
+		st.FleetEvents = append(st.FleetEvents, FleetEvent{Type: "joined", URL: "http://x"})
+		st.AuthRejected += 7
+	})
+	st := svc.Stats()
+	if len(st.FleetEvents) != 1 || st.FleetEvents[0].Type != "joined" {
+		t.Fatalf("stats hook did not contribute fleet events: %+v", st.FleetEvents)
+	}
+	if st.AuthRejected != 7 {
+		t.Fatalf("stats hook did not fold auth_rejected: %d", st.AuthRejected)
+	}
+}

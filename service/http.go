@@ -170,7 +170,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/keygen", s.handleKeyGen)
 	mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return http.MaxBytesHandler(mux, MaxBodyBytes)
+	var h http.Handler = mux
+	if s.auth != nil {
+		// Leaf posture (WithFleetSecret): every endpoint — proxy calls,
+		// health probes, key-domain verification — requires the fleet
+		// authenticator; anything else is 401.
+		h = s.auth.Middleware(h)
+	}
+	return http.MaxBytesHandler(h, MaxBodyBytes)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -196,7 +203,9 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrNoBackends):
+		// ErrNoBackends: a dynamic fleet with no routable member — retrying
+		// helps only once a leaf joins, so 503 rather than 429.
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownKey):
 		status = http.StatusNotFound

@@ -42,6 +42,10 @@ type pool struct {
 	closing  bool
 	aborting bool
 
+	// done closes when the worker loop exits — how a dynamic-membership
+	// removal waits for the pool's queue to drain.
+	done chan struct{}
+
 	// outstanding counts messages queued or executing on this backend; the
 	// router's weighted least-outstanding-work dispatch reads it lock-free.
 	outstanding atomic.Int64
@@ -67,7 +71,7 @@ type poolStats struct {
 }
 
 func newPool(id, shardID int, b Backend) *pool {
-	p := &pool{id: id, shardID: shardID, backend: b}
+	p := &pool{id: id, shardID: shardID, backend: b, done: make(chan struct{})}
 	p.cond = sync.NewCond(&p.mu)
 	p.stats.Hist = make([]int64, len(histBuckets)+1)
 	return p
@@ -101,6 +105,7 @@ func (p *pool) abort() {
 // run is the pool's worker loop: serially execute queued batches until
 // closing drains the queue or abort abandons it.
 func (p *pool) run(ctx context.Context, key *PrivateKey, keyID string) {
+	defer close(p.done)
 	for {
 		p.mu.Lock()
 		for len(p.queue) == 0 && !p.closing && !p.aborting {

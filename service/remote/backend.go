@@ -45,9 +45,10 @@ func (b *Backend) PreferredBatch() int {
 	return b.leaf.prefBatch
 }
 
-// Weight is the probe-fed EWMA of the leaf's observed sigs/s (zero while
+// Weight is the probe-fed EWMA of the leaf's observed sigs/s, floored at
+// Options.MinWeight so an idle-but-healthy leaf stays routable (zero while
 // ejected).
-func (b *Backend) Weight() float64 { return b.leaf.weight() }
+func (b *Backend) Weight() float64 { return b.leaf.weight(b.f.opts.MinWeight) }
 
 // Available implements service.Availabler: the router skips this leaf's
 // pool while the health checker has it quarantined.
@@ -163,6 +164,9 @@ func (b *Backend) RemoteHealth() service.RemoteLeafStats {
 		LatencyEWMAMs:    l.ewmaLatMs,
 		WeightSigsPerSec: l.ewmaSigs,
 	}
+	if st.WeightSigsPerSec < b.f.opts.MinWeight {
+		st.WeightSigsPerSec = b.f.opts.MinWeight
+	}
 	if l.state == stateEjected {
 		st.WeightSigsPerSec = 0
 	}
@@ -192,7 +196,7 @@ func (f *Fleet) pickSibling(keyID string, attempted map[*leaf]bool) *leaf {
 	var best *leaf
 	var bestInflight int64
 	var bestWeight float64
-	for _, l := range f.leaves {
+	for _, l := range f.leafList() {
 		if attempted[l] || !l.available() {
 			continue
 		}
@@ -234,8 +238,9 @@ func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte, sched
 		defer l.mu.Unlock()
 		return l.keyID
 	}
-	results := make(chan attemptResult, f.opts.MaxAttempts)
-	attempted := make(map[*leaf]bool, f.opts.MaxAttempts)
+	maxAttempts := f.maxAttempts()
+	results := make(chan attemptResult, maxAttempts)
+	attempted := make(map[*leaf]bool, maxAttempts)
 	pending := 0
 
 	send := func(l *leaf, hedge bool) {
@@ -312,7 +317,7 @@ func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte, sched
 			// another leaf, retry the batch on a sibling. Does not spend
 			// hedge budget — this is correctness rerouting, not tail
 			// trimming.
-			if pending == 0 && retryable(res.err) && len(attempted) < f.opts.MaxAttempts {
+			if pending == 0 && retryable(res.err) && len(attempted) < maxAttempts {
 				if ctx.Err() != nil {
 					return nil, ctx.Err()
 				}
@@ -323,7 +328,7 @@ func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte, sched
 			}
 		case <-hedgeCh:
 			hedgeCh = nil
-			if len(attempted) < f.opts.MaxAttempts && f.budget.tryAcquire() {
+			if len(attempted) < maxAttempts && f.budget.tryAcquire() {
 				if sib := f.pickSibling(keyID(primary), attempted); sib != nil {
 					primary.hedgesSent.Add(1)
 					send(sib, true)
@@ -348,11 +353,12 @@ func (f *Fleet) runSign(ctx context.Context, primary *leaf, msgs [][]byte, sched
 func (f *Fleet) runFailover(ctx context.Context, primary *leaf,
 	op func(ctx context.Context, l *leaf) error) error {
 	l := primary
-	attempted := make(map[*leaf]bool, f.opts.MaxAttempts)
+	maxAttempts := f.maxAttempts()
+	attempted := make(map[*leaf]bool, maxAttempts)
 	var overloadMax time.Duration
 	sawOverload := false
 	var lastErr error
-	for len(attempted) < f.opts.MaxAttempts && l != nil {
+	for len(attempted) < maxAttempts && l != nil {
 		attempted[l] = true
 		l.inflight.Add(1)
 		actx, cancel := context.WithTimeout(ctx, f.opts.RequestTimeout)

@@ -36,6 +36,11 @@ type leaf struct {
 	url  string
 	host string
 
+	// onEvent, when set, receives health transitions ("ejected",
+	// "recovered") for the fleet event log. Called with l.mu held; it must
+	// not call back into the leaf.
+	onEvent func(typ, url, note string)
+
 	mu    sync.Mutex
 	state leafState
 	keyID string // front-end shard key domain, set at Warm
@@ -43,7 +48,7 @@ type leaf struct {
 	capacity  int // admission-cap hint learned from the leaf's stats
 	prefBatch int // leaf's flush threshold, for BatchHinter alignment
 
-	ewmaSigs float64 // probe-fed observed sigs/s (the dispatch weight)
+	ewmaSigs  float64 // probe-fed observed sigs/s (the dispatch weight)
 	ewmaLatMs float64 // smoothed per-batch request latency
 
 	quarantine      time.Duration // current backoff (doubles per re-ejection)
@@ -95,12 +100,18 @@ func (l *leaf) available() bool {
 }
 
 // weight is the dispatch weight: the probe-fed EWMA while serving, zero
-// while ejected so shard aggregates reflect live capacity only.
-func (l *leaf) weight() float64 {
+// while ejected so shard aggregates reflect live capacity only. A serving
+// leaf's weight is floored at min (Options.MinWeight): a leaf that was
+// idle between probes observes zero sigs/s, and without the floor it
+// would never be routed to again — idle-but-healthy must stay routable.
+func (l *leaf) weight(min float64) float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.state == stateEjected {
 		return 0
+	}
+	if l.ewmaSigs < min {
+		return min
 	}
 	return l.ewmaSigs
 }
@@ -123,6 +134,9 @@ func (l *leaf) ejectLocked(o Options) {
 	l.quarantineUntil = time.Now().Add(l.quarantine)
 	l.consecReqFail = 0
 	l.consecProbeFail = 0
+	if l.onEvent != nil {
+		l.onEvent("ejected", l.url, "quarantine "+l.quarantine.String())
+	}
 }
 
 // observeSuccess folds one completed batch into the health record. A
@@ -142,6 +156,9 @@ func (l *leaf) observeSuccess(o Options, dur time.Duration, n int) {
 	if l.state == stateHalfOpen {
 		l.state = stateHealthy
 		l.quarantine = 0
+		if l.onEvent != nil {
+			l.onEvent("recovered", l.url, "half-open trial succeeded")
+		}
 	}
 }
 
@@ -191,7 +208,7 @@ func (f *Fleet) probeLoop() {
 			return
 		case <-tick.C:
 			var wg sync.WaitGroup
-			for _, l := range f.leaves {
+			for _, l := range f.leafList() {
 				wg.Add(1)
 				go func(l *leaf) {
 					defer wg.Done()
@@ -261,7 +278,8 @@ func (f *Fleet) probe(l *leaf) {
 // deviations above the fleet mean (and above an absolute floor, so quiet
 // microsecond-scale jitter never trips it) is ejected.
 func (f *Fleet) evaluateOutliers() {
-	if f.opts.LatencyZLimit < 0 || len(f.leaves) < 3 {
+	leaves := f.leafList()
+	if f.opts.LatencyZLimit < 0 || len(leaves) < 3 {
 		return
 	}
 	type sample struct {
@@ -269,7 +287,7 @@ func (f *Fleet) evaluateOutliers() {
 		lat float64
 	}
 	var samples []sample
-	for _, l := range f.leaves {
+	for _, l := range leaves {
 		l.mu.Lock()
 		if l.state == stateHealthy && l.ewmaLatMs > 0 {
 			samples = append(samples, sample{l, l.ewmaLatMs})

@@ -34,7 +34,9 @@
 package remote
 
 import (
+	"crypto/tls"
 	"fmt"
+	"net/http"
 	"net/url"
 	"strings"
 	"sync"
@@ -73,8 +75,8 @@ type Options struct {
 	// a leaf (default 1: an unreachable leaf is ejected within one probe
 	// interval). EjectRequestFailures is the consecutive hard request
 	// errors that do the same without waiting for a probe (default 2).
-	EjectProbeFailures    int
-	EjectRequestFailures  int
+	EjectProbeFailures   int
+	EjectRequestFailures int
 	// ErrorRateLimit ejects a leaf whose windowed request error rate
 	// exceeds it (default 0.5, evaluated per probe tick over >= 8 sends).
 	ErrorRateLimit float64
@@ -93,9 +95,30 @@ type Options struct {
 	// EWMAAlpha smooths the observed-sigs/s weight and latency estimates
 	// (default 0.3).
 	EWMAAlpha float64
+
+	// MinWeight floors the dispatch weight of a non-ejected leaf (default
+	// 0.5 sigs/s). Without it, a leaf that was idle between probes reports
+	// zero observed sigs/s and the router would never route to it again —
+	// idle-but-healthy must stay routable.
+	MinWeight float64
+
+	// Secret arms fleet authentication on every outgoing request (proxy
+	// calls, health probes, key-domain verification, membership traffic):
+	// each request carries an HMAC shared-secret header the leaf verifies
+	// with a constant-time compare and replay-window nonce (see
+	// service.FleetAuth). Must match the leaves' -fleet-secret.
+	Secret string
+	// TLSConfig, when set, is used for https:// leaf URLs — pin the
+	// fleet's CA (RootCAs) and present a client certificate
+	// (Certificates) for mutual TLS. Stacks with Secret.
+	TLSConfig *tls.Config
+	// WrapTransport, when set, wraps the fleet's HTTP transport — the
+	// fault-injection hook the chaos suite uses to put latency, resets
+	// and blackholes between the front end and its leaves.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 }
 
-func (o Options) withDefaults(leaves int) Options {
+func (o Options) withDefaults() Options {
 	if o.HedgePercentile != 0 {
 		if o.HedgePercentile < 50 {
 			o.HedgePercentile = 50
@@ -122,9 +145,6 @@ func (o Options) withDefaults(leaves int) Options {
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
 	}
-	if o.MaxAttempts > leaves {
-		o.MaxAttempts = leaves
-	}
 	if o.EjectProbeFailures <= 0 {
 		o.EjectProbeFailures = 1
 	}
@@ -146,6 +166,9 @@ func (o Options) withDefaults(leaves int) Options {
 	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
 		o.EWMAAlpha = 0.3
 	}
+	if o.MinWeight <= 0 {
+		o.MinWeight = 0.5
+	}
 	return o
 }
 
@@ -156,9 +179,12 @@ func (o Options) withDefaults(leaves int) Options {
 type Fleet struct {
 	opts    Options
 	tr      *transport
-	leaves  []*leaf
 	tracker *latencyTracker
 	budget  *hedgeBudget
+	events  *eventLog
+
+	leafMu sync.RWMutex
+	leaves []*leaf
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -174,35 +200,149 @@ func NewFleet(urls []string, opts Options) (*Fleet, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("remote: at least one leaf URL is required")
 	}
-	f := &Fleet{
-		opts:    opts.withDefaults(len(urls)),
-		tracker: newLatencyTracker(256),
-		stop:    make(chan struct{}),
+	f, err := newFleet(opts)
+	if err != nil {
+		return nil, err
 	}
-	f.budget = &hedgeBudget{frac: f.opts.HedgeMaxFraction}
-	f.tr = newTransport(f.opts)
 	for _, raw := range urls {
-		raw = strings.TrimSpace(raw)
-		u, err := url.Parse(raw)
-		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("remote: leaf URL %q must be absolute (http://host:port)", raw)
+		l, err := f.newLeafFor(raw)
+		if err != nil {
+			return nil, err
 		}
-		f.leaves = append(f.leaves, newLeaf(strings.TrimRight(raw, "/"), u.Host))
+		f.leaves = append(f.leaves, l)
 	}
 	f.refs = len(f.leaves)
 	go f.probeLoop()
 	return f, nil
 }
 
-// Backends returns one service.Backend per leaf, in URL order. The router
-// closes each backend after its pool drains; the last close stops the
-// probe loop and releases pooled connections.
+// NewDynamicFleet builds a fleet with no initial leaves for dynamic
+// membership: leaves join via AddLeaf (typically through a Registrar) and
+// depart via RemoveLeaf without restarting the front end. Unlike NewFleet,
+// whose lifetime is reference-counted by its backends, a dynamic fleet may
+// transiently hold zero members — the caller owns it and must Close it
+// (Registrar.Close does this for you).
+func NewDynamicFleet(opts Options) (*Fleet, error) {
+	f, err := newFleet(opts)
+	if err != nil {
+		return nil, err
+	}
+	f.refs = 1 // owner reference, released by Close
+	go f.probeLoop()
+	return f, nil
+}
+
+func newFleet(opts Options) (*Fleet, error) {
+	f := &Fleet{
+		opts:    opts.withDefaults(),
+		tracker: newLatencyTracker(256),
+		events:  newEventLog(64),
+		stop:    make(chan struct{}),
+	}
+	f.budget = &hedgeBudget{frac: f.opts.HedgeMaxFraction}
+	f.tr = newTransport(f.opts)
+	return f, nil
+}
+
+func (f *Fleet) newLeafFor(raw string) (*leaf, error) {
+	raw = strings.TrimSpace(raw)
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("remote: leaf URL %q must be absolute (http://host:port)", raw)
+	}
+	l := newLeaf(strings.TrimRight(raw, "/"), u.Host)
+	l.onEvent = f.record
+	return l, nil
+}
+
+// leafList is the read path's snapshot of the membership: probe loop,
+// sibling picks and stats all iterate it without holding the lock.
+func (f *Fleet) leafList() []*leaf {
+	f.leafMu.RLock()
+	defer f.leafMu.RUnlock()
+	return f.leaves
+}
+
+// maxAttempts clamps the configured attempt cap to the live fleet size at
+// call time — a construction-time clamp would pin a dynamic fleet that
+// started small to one attempt forever.
+func (f *Fleet) maxAttempts() int {
+	n := len(f.leafList())
+	m := f.opts.MaxAttempts
+	if m > n {
+		m = n
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// AddLeaf admits a new leaf into the fleet and returns its Backend, ready
+// to hand to Service.AddBackend (whose Warm verifies the key domain). The
+// backend holds a fleet reference released by its Close.
+func (f *Fleet) AddLeaf(rawURL string) (*Backend, error) {
+	l, err := f.newLeafFor(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	f.leafMu.Lock()
+	for _, existing := range f.leaves {
+		if existing.url == l.url {
+			f.leafMu.Unlock()
+			return nil, fmt.Errorf("remote: leaf %s is already a fleet member", l.url)
+		}
+	}
+	next := make([]*leaf, len(f.leaves), len(f.leaves)+1)
+	copy(next, f.leaves)
+	f.leaves = append(next, l)
+	f.leafMu.Unlock()
+	f.refMu.Lock()
+	f.refs++
+	f.refMu.Unlock()
+	return &Backend{f: f, leaf: l}, nil
+}
+
+// RemoveLeaf drops a leaf from the membership so probes stop and it is no
+// longer picked as a hedge/failover sibling. The caller still closes the
+// leaf's Backend (Service.RemoveBackend does, after draining its pool).
+func (f *Fleet) RemoveLeaf(b *Backend) {
+	if b == nil || b.f != f {
+		return
+	}
+	f.leafMu.Lock()
+	next := make([]*leaf, 0, len(f.leaves))
+	for _, l := range f.leaves {
+		if l != b.leaf {
+			next = append(next, l)
+		}
+	}
+	f.leaves = next
+	f.leafMu.Unlock()
+}
+
+// Backends returns one service.Backend per current leaf, in URL order. The
+// router closes each backend after its pool drains; for a NewFleet-built
+// fleet the last close stops the probe loop and releases pooled
+// connections.
 func (f *Fleet) Backends() []service.Backend {
-	out := make([]service.Backend, len(f.leaves))
-	for i, l := range f.leaves {
+	leaves := f.leafList()
+	out := make([]service.Backend, len(leaves))
+	for i, l := range leaves {
 		out[i] = &Backend{f: f, leaf: l}
 	}
 	return out
+}
+
+// record appends a membership/health transition to the fleet's event ring.
+func (f *Fleet) record(typ, url, note string) {
+	f.events.add(service.FleetEvent{Time: time.Now(), Type: typ, URL: url, Note: note})
+}
+
+// Events snapshots the fleet's membership and health transition log,
+// oldest first. The Registrar folds this into the front end's /v1/stats.
+func (f *Fleet) Events() []service.FleetEvent {
+	return f.events.snapshot()
 }
 
 // release drops one backend's reference; the last one shuts the fleet

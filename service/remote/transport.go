@@ -139,29 +139,51 @@ func hardFailure(err error) bool {
 	return false
 }
 
-// transport is the fleet's pooled HTTP client.
+// transport is the fleet's pooled HTTP client. When Options.Secret is set
+// it signs every outgoing request — proxy calls, probes, key-catalog
+// fetches and membership traffic — with the fleet auth header.
 type transport struct {
 	client *http.Client
+	auth   *service.FleetAuth
+	inner  *http.Transport
 }
 
 func newTransport(o Options) *transport {
-	return &transport{client: &http.Client{
-		Transport: &http.Transport{
-			Proxy: http.ProxyFromEnvironment,
-			DialContext: (&net.Dialer{
-				Timeout:   5 * time.Second,
-				KeepAlive: 30 * time.Second,
-			}).DialContext,
-			MaxIdleConns:        64,
-			MaxIdleConnsPerHost: 16,
-			IdleConnTimeout:     90 * time.Second,
-		},
+	inner := &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+		TLSClientConfig:     o.TLSConfig,
+	}
+	var rt http.RoundTripper = inner
+	if o.WrapTransport != nil {
+		rt = o.WrapTransport(rt)
+	}
+	t := &transport{client: &http.Client{
+		Transport: rt,
 		// Per-attempt deadlines come from the caller's context; the client
 		// itself stays unbounded so probe and batch timeouts can differ.
-	}}
+	}, inner: inner}
+	if o.Secret != "" {
+		t.auth = service.NewFleetAuth(o.Secret)
+	}
+	return t
 }
 
-func (t *transport) close() { t.client.CloseIdleConnections() }
+// do signs (when fleet auth is armed) and sends one request.
+func (t *transport) do(req *http.Request) (*http.Response, error) {
+	if t.auth != nil {
+		t.auth.Sign(req)
+	}
+	return t.client.Do(req)
+}
+
+func (t *transport) close() { t.inner.CloseIdleConnections() }
 
 // postJSON round-trips one JSON request. A leaf 429 comes back as
 // *service.OverloadError carrying the leaf's own retry_after_ms estimate,
@@ -177,7 +199,7 @@ func (t *transport) postJSON(ctx context.Context, base, path string, in, out any
 		return fmt.Errorf("remote: build %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := t.client.Do(req)
+	resp, err := t.do(req)
 	if err != nil {
 		return &TransportError{URL: base, Err: err}
 	}
@@ -189,7 +211,7 @@ func (t *transport) getJSON(ctx context.Context, base, path string, out any) err
 	if err != nil {
 		return fmt.Errorf("remote: build %s: %w", path, err)
 	}
-	resp, err := t.client.Do(req)
+	resp, err := t.do(req)
 	if err != nil {
 		return &TransportError{URL: base, Err: err}
 	}

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,12 @@ import (
 	"herosign/internal/spx/params"
 )
 
+// ErrNoBackends reports a shard with an empty routing set — a
+// dynamic-membership front end whose leaves have all left (or none has
+// joined yet). The HTTP layer maps it to 503: unlike a 429 there is no
+// local queue to drain, the fleet needs a member.
+var ErrNoBackends = errors.New("service: no backends available")
+
 // shard is one key domain: a keypair plus the worker pools of the backends
 // assigned to it. All signatures in a shard come from its key; the router
 // maps key IDs to shards.
@@ -21,7 +28,10 @@ type shard struct {
 	id    int
 	key   *spx.PrivateKey
 	keyID string
-	pools []*pool
+	// pools is a copy-on-write snapshot: readers (dispatch, weights, stats)
+	// load it lock-free, mutations swap a fresh slice under router.mu so
+	// backends can join and leave a running shard.
+	pools atomic.Pointer[[]*pool]
 
 	// gate bounds admitted-but-unresolved messages (coalescing, queued or
 	// executing) for the shard.
@@ -30,10 +40,21 @@ type shard struct {
 	shed     atomic.Int64
 }
 
+// poolList returns the shard's current pool snapshot (never mutate it).
+func (sh *shard) poolList() []*pool {
+	if ps := sh.pools.Load(); ps != nil {
+		return *ps
+	}
+	return nil
+}
+
+// storePools publishes a new pool snapshot (call with router.mu held).
+func (sh *shard) storePools(ps []*pool) { sh.pools.Store(&ps) }
+
 // weight is the shard's aggregate sigs/s estimate.
 func (sh *shard) weight() float64 {
 	var w float64
-	for _, p := range sh.pools {
+	for _, p := range sh.poolList() {
 		w += p.backend.Weight()
 	}
 	return w
@@ -86,19 +107,34 @@ type routerConfig struct {
 	globalLimit int
 	policy      ShedPolicy
 	drain       time.Duration // 0 = drain without deadline
+	// dynamic allows zero backends at construction and resizing through
+	// addBackend/removeBackend afterwards.
+	dynamic bool
 }
 
 // router spreads key domains over shards and flushed batches over each
 // shard's per-backend pools with weighted least-outstanding-work dispatch.
 type router struct {
-	shards  []*shard
-	pools   []*pool // flattened, worker-id order
+	shards []*shard
+	// pools is the append-only registry of every pool ever started —
+	// including removed-but-draining ones — so close can drain/abort and
+	// release them all. Backends may therefore see Close twice (removal,
+	// then router close); implementations must tolerate it.
+	pools   []*pool
 	byKeyID map[string]*shard
 
 	global         gate
 	rejectedGlobal atomic.Int64
 	policy         ShedPolicy
 	drain          time.Duration
+
+	// Dynamic-membership state: the configured (possibly AutoQueueLimit)
+	// caps for limit recomputation as members come and go, and the next
+	// worker id.
+	dynamic    bool
+	queueCfg   int
+	globalCfg  int
+	nextPoolID int
 
 	ctx    context.Context // canceled when a drain deadline aborts
 	cancel context.CancelFunc
@@ -120,18 +156,21 @@ func newRouter(cfg routerConfig) (*router, error) {
 		return nil, fmt.Errorf("service: key parameter set %s does not match service %s",
 			cfg.key.Params.Name, cfg.params.Name)
 	}
-	if len(cfg.backends) == 0 {
+	if len(cfg.backends) == 0 && !cfg.dynamic {
 		return nil, fmt.Errorf("service: at least one backend is required")
 	}
 	if cfg.shards < 1 {
 		cfg.shards = 1
 	}
-	if cfg.shards > len(cfg.backends) {
+	if cfg.shards > len(cfg.backends) && !cfg.dynamic {
 		return nil, fmt.Errorf("service: %d shards need at least as many backends, have %d",
 			cfg.shards, len(cfg.backends))
 	}
 
-	rt := &router{policy: cfg.policy, drain: cfg.drain, byKeyID: make(map[string]*shard)}
+	rt := &router{
+		policy: cfg.policy, drain: cfg.drain, byKeyID: make(map[string]*shard),
+		dynamic: cfg.dynamic, queueCfg: cfg.queueLimit, globalCfg: cfg.globalLimit,
+	}
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
 
 	var totalCap int
@@ -149,37 +188,40 @@ func newRouter(cfg routerConfig) (*router, error) {
 	}
 	// Backends distribute round-robin so heterogeneous fleets spread across
 	// shards instead of clustering the fast backends in shard 0.
+	perShard := make([][]*pool, cfg.shards)
 	for i, b := range cfg.backends {
 		sh := rt.shards[i%cfg.shards]
 		if err := b.Warm(sh.key); err != nil {
 			return nil, fmt.Errorf("service: warming backend %s: %w", b.Name(), err)
 		}
 		p := newPool(i, sh.id, b)
-		sh.pools = append(sh.pools, p)
+		perShard[sh.id] = append(perShard[sh.id], p)
 		rt.pools = append(rt.pools, p)
 		totalCap += b.Capacity()
 	}
+	rt.nextPoolID = len(cfg.backends)
 	for _, sh := range rt.shards {
+		sh.storePools(perShard[sh.id])
 		var shardCap int
-		for _, p := range sh.pools {
+		for _, p := range sh.poolList() {
 			shardCap += p.backend.Capacity()
 		}
 		switch {
 		case cfg.queueLimit == AutoQueueLimit:
-			sh.gate.limit = autoLimit(shardCap)
+			sh.gate.setCap(autoLimit(shardCap))
 		case cfg.queueLimit > 0:
-			sh.gate.limit = int64(cfg.queueLimit)
+			sh.gate.setCap(int64(cfg.queueLimit))
 		}
 	}
 	switch {
 	case cfg.globalLimit == AutoQueueLimit:
-		rt.global.limit = autoLimit(totalCap)
+		rt.global.setCap(autoLimit(totalCap))
 	case cfg.globalLimit > 0:
-		rt.global.limit = int64(cfg.globalLimit)
+		rt.global.setCap(int64(cfg.globalLimit))
 	}
 
 	for _, sh := range rt.shards {
-		for _, p := range sh.pools {
+		for _, p := range sh.poolList() {
 			rt.wg.Add(1)
 			go func(sh *shard, p *pool) {
 				defer rt.wg.Done()
@@ -188,6 +230,112 @@ func newRouter(cfg routerConfig) (*router, error) {
 		}
 	}
 	return rt, nil
+}
+
+// addBackend warms b against the least-populated shard's key and inserts a
+// new pool for it into the routing set — the join half of dynamic fleet
+// membership. Warm runs before the routing lock is taken: it may rebuild
+// cached tree state or verify a remote leaf's key catalog over the network.
+func (rt *router) addBackend(b Backend) error {
+	rt.mu.RLock()
+	if rt.closed {
+		rt.mu.RUnlock()
+		return ErrClosed
+	}
+	var sh *shard
+	for _, cand := range rt.shards {
+		if sh == nil || len(cand.poolList()) < len(sh.poolList()) {
+			sh = cand
+		}
+	}
+	rt.mu.RUnlock()
+	if err := b.Warm(sh.key); err != nil {
+		return fmt.Errorf("service: warming backend %s: %w", b.Name(), err)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	p := newPool(rt.nextPoolID, sh.id, b)
+	rt.nextPoolID++
+	sh.storePools(append(append([]*pool(nil), sh.poolList()...), p))
+	rt.pools = append(rt.pools, p)
+	rt.recomputeLimitsLocked()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		p.run(rt.ctx, sh.key, sh.keyID)
+	}()
+	return nil
+}
+
+// removeBackend retires b: it leaves the routing set immediately (no new
+// batch lands on it), its already-queued batches drain — bounded by the
+// router's drain deadline, past which they abort with ErrClosed — and the
+// backend is closed. The leave half of dynamic fleet membership.
+func (rt *router) removeBackend(b Backend) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrClosed
+	}
+	var victim *pool
+	for _, sh := range rt.shards {
+		ps := sh.poolList()
+		for i, p := range ps {
+			if p.backend == b {
+				victim = p
+				sh.storePools(append(append([]*pool(nil), ps[:i]...), ps[i+1:]...))
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		rt.mu.Unlock()
+		return fmt.Errorf("service: backend %s is not in the routing set", b.Name())
+	}
+	rt.recomputeLimitsLocked()
+	rt.mu.Unlock()
+	// Every dispatch that could still pick the old snapshot has finished
+	// (removal held the write lock), so the queue only shrinks from here.
+	victim.beginClose()
+	if rt.drain > 0 {
+		select {
+		case <-victim.done:
+		case <-time.After(rt.drain):
+			victim.abort()
+			<-victim.done
+		}
+	} else {
+		<-victim.done
+	}
+	if c, ok := b.(interface{ Close() error }); ok {
+		_ = c.Close()
+	}
+	return nil
+}
+
+// recomputeLimitsLocked re-derives the AutoQueueLimit admission caps from
+// the current membership (call with rt.mu held). Fixed caps are untouched.
+func (rt *router) recomputeLimitsLocked() {
+	var totalCap int
+	for _, sh := range rt.shards {
+		var shardCap int
+		for _, p := range sh.poolList() {
+			shardCap += p.backend.Capacity()
+		}
+		totalCap += shardCap
+		if rt.queueCfg == AutoQueueLimit {
+			sh.gate.setCap(autoLimit(shardCap))
+		}
+	}
+	if rt.globalCfg == AutoQueueLimit {
+		rt.global.setCap(autoLimit(totalCap))
+	}
 }
 
 // KeyID derives the stable identifier the router uses to map signing keys
@@ -239,7 +387,7 @@ func (rt *router) route() *shard {
 	var best *shard
 	var bestScore float64
 	consider := func(sh *shard, full bool) {
-		if sh.gate.limit > 0 && (sh.gate.depth() >= sh.gate.limit) != full {
+		if lim := sh.gate.cap(); lim > 0 && (sh.gate.depth() >= lim) != full {
 			return
 		}
 		if s := loadScore(sh.gate.depth(), sh.weight()); best == nil || s < bestScore {
@@ -285,10 +433,14 @@ func (rt *router) dispatch(sh *shard, j *batchJob) error {
 	if rt.closed {
 		return ErrClosed
 	}
+	pools := sh.poolList()
+	if len(pools) == 0 {
+		return ErrNoBackends
+	}
 	var best *pool
 	var bestScore float64
 	pick := func(requireAvailable bool) {
-		for _, p := range sh.pools {
+		for _, p := range pools {
 			if requireAvailable {
 				if av, ok := p.backend.(Availabler); ok && !av.Available() {
 					continue
@@ -366,4 +518,3 @@ func (rt *router) globalRetryAfter() time.Duration {
 	}
 	return retryEstimate(rt.global.depth(), w)
 }
-

@@ -22,6 +22,7 @@ import (
 	"context"
 	"crypto/rand"
 	"fmt"
+	"sync"
 	"time"
 
 	"herosign/internal/core"
@@ -79,6 +80,19 @@ type Config struct {
 	// waits for a full drain; past the deadline, not-yet-started batches
 	// resolve ErrClosed.
 	DrainDeadline time.Duration
+
+	// FleetSecret, when non-empty, requires every request at the HTTP
+	// front end to carry a valid shared-secret authenticator (see
+	// FleetAuth): the configuration a leaf node runs with so only its own
+	// fleet's front end can reach it. Unauthenticated requests are
+	// rejected 401 and counted in Stats.AuthRejected.
+	FleetSecret string
+	// DynamicMembership allows constructing the service with zero
+	// backends and resizing it later through AddBackend/RemoveBackend —
+	// the shape of a fleet front end whose leaves join and leave at
+	// runtime. While no backend is routable, submissions fail with
+	// ErrNoBackends (503 on the HTTP front end).
+	DynamicMembership bool
 
 	// MaxBatch is the size-triggered flush threshold. Zero aligns it with
 	// the engine's SubBatch (64 by default) so a flushed batch maps onto
@@ -151,6 +165,19 @@ func WithTenantBurst(n int) Option { return func(c *Config) { c.TenantBurst = n 
 // abandoning them (their futures resolve ErrClosed). Zero waits forever.
 func WithDrainDeadline(d time.Duration) Option { return func(c *Config) { c.DrainDeadline = d } }
 
+// WithFleetSecret requires fleet authentication on the HTTP front end:
+// every request must carry a valid X-Herosign-Fleet-Auth header derived
+// from the shared secret, or it is rejected 401 (counted in /v1/stats as
+// auth_rejected). This is a leaf node's posture; a front end keeps its
+// /v1/* public and protects only the membership endpoints.
+func WithFleetSecret(secret string) Option { return func(c *Config) { c.FleetSecret = secret } }
+
+// WithDynamicMembership lets the service start with zero backends and grow
+// or shrink at runtime via AddBackend/RemoveBackend — the fleet front end
+// whose leaves join and leave through the membership registry. While no
+// backend is routable, submissions fail ErrNoBackends (503 over HTTP).
+func WithDynamicMembership() Option { return func(c *Config) { c.DynamicMembership = true } }
+
 // WithMaxBatch sets the size-triggered flush threshold.
 func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
 
@@ -192,6 +219,10 @@ type Service struct {
 	router   *router
 	batchers []*shardBatchers // indexed by shard id
 	tenants  *tenantRegistry
+	auth     *FleetAuth // non-nil when FleetSecret is configured
+
+	hookMu     sync.Mutex
+	statsHooks []func(*Stats)
 
 	start time.Time
 }
@@ -224,7 +255,7 @@ func New(opts ...Option) (*Service, error) {
 		backends = append(backends, newDeviceBackend(d, engineCfg))
 	}
 	backends = append(backends, cfg.Backends...)
-	if len(backends) == 0 {
+	if len(backends) == 0 && !cfg.DynamicMembership {
 		d, err := device.ByName("RTX 4090")
 		if err != nil {
 			return nil, err
@@ -235,7 +266,7 @@ func New(opts ...Option) (*Service, error) {
 	rt, err := newRouter(routerConfig{
 		params: cfg.Params, key: cfg.Key, backends: backends,
 		shards: cfg.Shards, queueLimit: cfg.QueueLimit, globalLimit: cfg.GlobalQueueLimit,
-		policy: cfg.ShedPolicy, drain: cfg.DrainDeadline,
+		policy: cfg.ShedPolicy, drain: cfg.DrainDeadline, dynamic: cfg.DynamicMembership,
 	})
 	if err != nil {
 		return nil, err
@@ -262,6 +293,9 @@ func New(opts ...Option) (*Service, error) {
 		cfg: cfg, router: rt,
 		tenants: newTenantRegistry(cfg.TenantRate, cfg.TenantBurst),
 		start:   time.Now(),
+	}
+	if cfg.FleetSecret != "" {
+		s.auth = NewFleetAuth(cfg.FleetSecret)
 	}
 	for _, sh := range rt.shards {
 		sh := sh
@@ -301,12 +335,39 @@ func (s *Service) Shards() []ShardInfo {
 	out := make([]ShardInfo, 0, len(s.router.shards))
 	for _, sh := range s.router.shards {
 		info := ShardInfo{ID: sh.id, KeyID: sh.keyID, PublicKey: &sh.key.PublicKey}
-		for _, p := range sh.pools {
+		for _, p := range sh.poolList() {
 			info.Backends = append(info.Backends, p.backend.Name())
 		}
 		out = append(out, info)
 	}
 	return out
+}
+
+// AddBackend warms b against a shard key and adds it to the routing set of
+// a running service — the admit half of dynamic fleet membership. The
+// backend starts receiving flushed batches as soon as Warm succeeds; its
+// Weight integrates into dispatch like any construction-time backend's.
+func (s *Service) AddBackend(b Backend) error { return s.router.addBackend(b) }
+
+// RemoveBackend retires b from a running service: it immediately stops
+// receiving new batches, its queued batches drain (bounded by the drain
+// deadline), and it is closed. Unknown backends return an error.
+func (s *Service) RemoveBackend(b Backend) error { return s.router.removeBackend(b) }
+
+// FleetAuth returns the service's fleet authenticator, nil unless
+// WithFleetSecret configured one. Front-end composition code uses it to
+// protect extra endpoints (the membership registry) with the same secret
+// and replay cache.
+func (s *Service) FleetAuth() *FleetAuth { return s.auth }
+
+// AddStatsHook registers fn to run on every Stats snapshot just before it
+// is returned — how composition layers (the membership registry, an
+// external authenticator) fold their own counters and event logs into
+// /v1/stats without the service importing them.
+func (s *Service) AddStatsHook(fn func(*Stats)) {
+	s.hookMu.Lock()
+	s.statsHooks = append(s.statsHooks, fn)
+	s.hookMu.Unlock()
 }
 
 // PublicKeyFor resolves a key ID to its shard's public key.
@@ -527,9 +588,10 @@ func (s *Service) admitBatch(sh *shard, n int, opts []SubmitOpts, unit string) (
 	}
 	rt := s.router
 	k := int64(n)
-	if (sh.gate.limit > 0 && k > sh.gate.limit) || (rt.global.limit > 0 && k > rt.global.limit) {
+	shardCap, globalCap := sh.gate.cap(), rt.global.cap()
+	if (shardCap > 0 && k > shardCap) || (globalCap > 0 && k > globalCap) {
 		return nil, nil, fmt.Errorf("%w: %d %s against caps shard=%d global=%d",
-			ErrBatchTooLarge, k, unit, sh.gate.limit, rt.global.limit)
+			ErrBatchTooLarge, k, unit, shardCap, globalCap)
 	}
 
 	// Group the members by tenant for all-or-nothing bucket charging.

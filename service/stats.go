@@ -1,6 +1,21 @@
 package service
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
+
+// FleetEvent is one membership transition of a dynamic fleet: a leaf
+// joined, left, lost its heartbeat lease, was ejected by the health
+// checker or recovered through a half-open trial. The membership registry
+// folds its event ring into Stats.FleetEvents via AddStatsHook.
+type FleetEvent struct {
+	Time time.Time `json:"time"`
+	// Type is "joined", "left", "lease-expired", "ejected" or "recovered".
+	Type string `json:"type"`
+	URL  string `json:"url"`
+	Note string `json:"note,omitempty"`
+}
 
 // BackendStats reports one pool's counters. Busy times are the backend's
 // own clock: modeled device time for simulated GPUs, measured wall time for
@@ -205,6 +220,13 @@ type Stats struct {
 	// RemoteLeaves lists per-leaf health for remote-backed pools (empty on
 	// an all-local fleet).
 	RemoteLeaves []RemoteLeafStats `json:"remote_leaves,omitempty"`
+
+	// AuthRejected counts requests refused 401 by fleet authentication
+	// (missing, malformed, forged or replayed X-Herosign-Fleet-Auth).
+	AuthRejected int64 `json:"auth_rejected,omitempty"`
+	// FleetEvents is the recent membership transition log of a dynamic
+	// fleet (newest last), surfaced by the membership registry.
+	FleetEvents []FleetEvent `json:"fleet_events,omitempty"`
 }
 
 // Stats snapshots the coalescers, the admission gates and the pools.
@@ -215,7 +237,7 @@ func (s *Service) Stats() Stats {
 		DeadlineM:        s.batchers[0].sign.deadline.String(),
 		ShedPolicy:       s.cfg.ShedPolicy.String(),
 		GlobalQueueDepth: s.router.global.depth(),
-		GlobalQueueLimit: s.router.global.limit,
+		GlobalQueueLimit: s.router.global.cap(),
 		RejectedTotal:    s.router.rejectedGlobal.Load(),
 		TenantRate:       s.tenants.rate,
 		TenantBurst:      int(s.tenants.burst),
@@ -229,13 +251,13 @@ func (s *Service) Stats() Stats {
 	for _, sh := range s.router.shards {
 		ss := ShardStats{
 			Shard: sh.id, KeyID: sh.keyID,
-			QueueDepth: sh.gate.depth(), QueueLimit: sh.gate.limit,
+			QueueDepth: sh.gate.depth(), QueueLimit: sh.gate.cap(),
 			Rejected: sh.rejected.Load(), Shed: sh.shed.Load(),
 			WeightSigsPerSec: sh.weight(),
 		}
 		st.RejectedTotal += ss.Rejected
 		st.ShedTotal += ss.Shed
-		for _, p := range sh.pools {
+		for _, p := range sh.poolList() {
 			ss.Backends = append(ss.Backends, p.backend.Name())
 			ws := p.snapshot()
 			busyUs := ws.SignBusyUs + ws.VerifyBusyUs + ws.KeyGenBusyUs
@@ -288,6 +310,16 @@ func (s *Service) Stats() Stats {
 			le = fmt.Sprintf("%d", histBuckets[i])
 		}
 		st.BatchSizeHist = append(st.BatchSizeHist, HistBucket{Le: le, Count: c})
+	}
+	if s.auth != nil {
+		st.AuthRejected += s.auth.Rejected()
+	}
+	s.hookMu.Lock()
+	hooks := make([]func(*Stats), len(s.statsHooks))
+	copy(hooks, s.statsHooks)
+	s.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(&st)
 	}
 	return st
 }
